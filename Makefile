@@ -1,0 +1,41 @@
+# Convenience targets for the wanfd repository.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet cover reproduce fuzz clean
+
+all: fmt vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure of the paper.
+reproduce:
+	$(GO) run ./cmd/fdwan
+	$(GO) run ./cmd/fdaccuracy
+	$(GO) run ./cmd/fdqos -baselines
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/transport/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/trace/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,104 @@
+// Command fdaccuracy reproduces the paper's predictor-accuracy experiment
+// (§5.1, Table 3): it collects one-way heartbeat delays over the simulated
+// WAN and prints each predictor's one-step msqerr, most accurate first.
+// With -grid it additionally runs the ARIMA (p, d, q) order search that the
+// paper performed with the RPS toolkit.
+//
+// Usage:
+//
+//	fdaccuracy                          # Table 3 with 100 000 samples
+//	fdaccuracy -samples 20000 -seed 7
+//	fdaccuracy -grid -maxp 3 -maxd 2 -maxq 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wanfd/internal/arima"
+	"wanfd/internal/cli"
+	"wanfd/internal/core"
+	"wanfd/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdaccuracy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		samples   = flag.Int("samples", 100000, "heartbeats to collect (paper: 100000)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		preset    = flag.String("preset", "italy-japan", "channel preset: italy-japan, lan, lossy-mobile, bottleneck")
+		grid      = flag.Bool("grid", false, "also run the ARIMA (p,d,q) order search")
+		maxP      = flag.Int("maxp", 3, "grid search bound for p")
+		maxD      = flag.Int("maxd", 2, "grid search bound for d")
+		maxQ      = flag.Int("maxq", 2, "grid search bound for q")
+		topN      = flag.Int("top", 10, "grid candidates to print")
+		tracePath = flag.String("trace", "", "replay a recorded delay trace instead of the preset channel")
+		extended  = flag.Bool("extended", false, "also evaluate the extension predictors (MEDIAN)")
+		stability = flag.Int("stability", 0, "repeat over this many seeds and report ranking stability")
+	)
+	flag.Parse()
+
+	p, err := cli.ParsePreset(*preset)
+	if err != nil {
+		return err
+	}
+	delays, err := cli.LoadTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	predictors := append([]string(nil), core.PredictorNames...)
+	if *extended {
+		predictors = append(predictors, core.ExtendedPredictorNames...)
+	}
+	cfg := experiment.AccuracyConfig{
+		Samples:    *samples,
+		Seed:       *seed,
+		Preset:     p,
+		DelayTrace: delays,
+		Predictors: predictors,
+	}
+	if *stability > 0 {
+		st, err := experiment.RunAccuracyStability(cfg, *stability)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 3 ranking stability across channel realizations")
+		fmt.Print(st.Table())
+		return nil
+	}
+	res, err := experiment.RunAccuracy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 3 — Predictor accuracy (one-step msqerr, most accurate first)")
+	fmt.Print(res.Table())
+
+	if !*grid {
+		return nil
+	}
+	fmt.Printf("\nARIMA order search over [0..%d]x[0..%d]x[0..%d] (by out-of-sample msqerr)\n",
+		*maxP, *maxD, *maxQ)
+	cands, err := arima.Search(res.DelaysMs, arima.SearchConfig{MaxP: *maxP, MaxD: *maxD, MaxQ: *maxQ})
+	if err != nil {
+		return err
+	}
+	n := *topN
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for _, c := range cands[:n] {
+		if c.Err != nil {
+			fmt.Printf("ARIMA(%d,%d,%d)  failed: %v\n", c.P, c.D, c.Q, c.Err)
+			continue
+		}
+		fmt.Printf("ARIMA(%d,%d,%d)  msqerr %.3f\n", c.P, c.D, c.Q, c.MSqErr)
+	}
+	return nil
+}

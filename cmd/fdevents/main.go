@@ -1,0 +1,94 @@
+// Command fdevents recomputes failure-detector QoS metrics from a raw
+// event timeline exported by fdqos -events (JSON Lines): the offline half
+// of the NekoStat workflow, so a recorded run can be re-analyzed with
+// different windows or detectors without re-simulating.
+//
+// Usage:
+//
+//	fdevents run0.jsonl                         # all detectors in the log
+//	fdevents -detector LAST+JAC_med run0.jsonl
+//	fdevents -warmup 2m -end 2h45m run0.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"wanfd/internal/nekostat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdevents:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		detector = flag.String("detector", "", "only this detector (default: all present)")
+		warmup   = flag.Duration("warmup", 60*time.Second, "window start")
+		end      = flag.Duration("end", 0, "window end (0 = last event + 1s)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: fdevents [flags] <events.jsonl>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	events, err := nekostat.ReadEvents(f)
+	_ = f.Close()
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("no events in %s", flag.Arg(0))
+	}
+
+	windowEnd := *end
+	if windowEnd == 0 {
+		for _, e := range events {
+			if e.At > windowEnd {
+				windowEnd = e.At
+			}
+		}
+		windowEnd += time.Second
+	}
+
+	detectors := map[string]bool{}
+	for _, e := range events {
+		if e.Source != "" && (e.Kind == nekostat.KindStartSuspect || e.Kind == nekostat.KindEndSuspect) {
+			detectors[e.Source] = true
+		}
+	}
+	var names []string
+	if *detector != "" {
+		if !detectors[*detector] {
+			return fmt.Errorf("detector %q has no events in the log", *detector)
+		}
+		names = []string{*detector}
+	} else {
+		for n := range detectors {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+
+	fmt.Printf("%d events, window [%v, %v]\n\n", len(events), *warmup, windowEnd)
+	fmt.Printf("%-18s %10s %10s %10s %10s %10s %9s\n",
+		"detector", "T_D ms", "T_D^U ms", "T_M ms", "T_MR ms", "P_A", "mistakes")
+	for _, name := range names {
+		q, err := nekostat.QoSFromEvents(events, name, *warmup, windowEnd)
+		if err != nil {
+			return fmt.Errorf("qos of %s: %w", name, err)
+		}
+		fmt.Printf("%-18s %10.1f %10.1f %10.1f %10.1f %10.6f %9d\n",
+			name, q.TD.Mean, q.TDU, q.TM.Mean, q.TMR.Mean, q.PA, q.Mistakes)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Command fdheartbeat runs the monitored side of the paper's architecture
+// on a real network: it sends UDP heartbeats every η to an fdmonitor
+// process and answers its clock-sync requests. To exercise the detector,
+// stop it (Ctrl-C) and restart it.
+//
+// Usage:
+//
+//	fdheartbeat -listen :7008 -remote host:7007 -eta 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wanfd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdheartbeat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", ":7008", "local UDP address")
+		remote = flag.String("remote", "", "monitor UDP address (required)")
+		eta    = flag.Duration("eta", time.Second, "heartbeat period")
+	)
+	flag.Parse()
+	if *remote == "" {
+		return fmt.Errorf("-remote is required")
+	}
+	hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{
+		Listen: *listen,
+		Remote: *remote,
+		Eta:    *eta,
+	})
+	if err != nil {
+		return err
+	}
+	defer hb.Close()
+	fmt.Printf("heartbeating to %s every %v from %s\n", *remote, *eta, hb.LocalAddr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	fmt.Printf("stopping after %d heartbeats\n", hb.Sent())
+	return nil
+}

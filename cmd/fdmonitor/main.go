@@ -1,0 +1,99 @@
+// Command fdmonitor runs the failure-detecting side of the paper's
+// architecture on a real network: it listens for UDP heartbeats from an
+// fdheartbeat process and logs suspicion transitions.
+//
+// Usage:
+//
+//	fdmonitor -listen :7007 -remote host:7008 -eta 1s
+//	fdmonitor -listen :7007 -remote host:7008 -predictor ARIMA -margin CI_low -sync
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wanfd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdmonitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", ":7007", "local UDP address")
+		remote    = flag.String("remote", "", "heartbeater UDP address (required)")
+		eta       = flag.Duration("eta", time.Second, "heartbeat period of the monitored process")
+		predictor = flag.String("predictor", "LAST", "delay predictor: ARIMA, LAST, LPF, MEAN, WINMEAN")
+		margin    = flag.String("margin", "JAC_med", "safety margin: CI_low/med/high, JAC_low/med/high")
+		sync      = flag.Bool("sync", false, "estimate the peer clock offset before monitoring")
+		accrual   = flag.Float64("accrual", 0, "use a φ-accrual detector at this threshold instead of predictor+margin (0 = off)")
+		stats     = flag.Duration("stats", 10*time.Second, "statistics print interval (0 disables)")
+	)
+	flag.Parse()
+	if *remote == "" {
+		return fmt.Errorf("-remote is required")
+	}
+
+	start := time.Now()
+	stamp := func(elapsed time.Duration) string {
+		return start.Add(elapsed).Format("15:04:05.000")
+	}
+	mon, err := wanfd.ListenAndMonitor(wanfd.MonitorConfig{
+		Listen:           *listen,
+		Remote:           *remote,
+		Eta:              *eta,
+		Predictor:        *predictor,
+		Margin:           *margin,
+		AccrualThreshold: *accrual,
+		SyncClock:        *sync,
+		OnSuspect: func(at time.Duration) {
+			fmt.Printf("%s SUSPECT   (after %v)\n", stamp(at), at.Round(time.Millisecond))
+		},
+		OnTrust: func(at time.Duration) {
+			fmt.Printf("%s TRUST     (after %v)\n", stamp(at), at.Round(time.Millisecond))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+	fmt.Printf("monitoring %s with %s+%s, eta %v, clock offset %v\n",
+		*remote, *predictor, *margin, *eta, mon.ClockOffset())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *stats > 0 {
+		ticker = time.NewTicker(*stats)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-sigCh:
+			hb, stale, susp := mon.Stats()
+			fmt.Printf("shutting down: %d heartbeats (%d stale), %d suspicions\n", hb, stale, susp)
+			return nil
+		case <-tick:
+			hb, stale, susp := mon.Stats()
+			if *accrual > 0 {
+				fmt.Printf("%s stats: heartbeats %d (stale %d), suspicions %d, phi %.2f, suspected %v\n",
+					time.Now().Format("15:04:05.000"), hb, stale, susp, mon.Phi(), mon.Suspected())
+			} else {
+				fmt.Printf("%s stats: heartbeats %d (stale %d), suspicions %d, timeout %v, suspected %v\n",
+					time.Now().Format("15:04:05.000"), hb, stale, susp,
+					mon.Timeout().Round(time.Millisecond), mon.Suspected())
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command fdplan sizes a constant-timeout failure detector from QoS
+// requirements, the Chen/Toueg/Aguilera configuration approach the paper
+// contrasts with its adaptive detectors: you state the network's
+// probabilistic characterization and the QoS you need, and it prints the
+// heartbeat period η, the timeout δ and the QoS the analysis predicts.
+//
+// Usage:
+//
+//	fdplan -bound 2s                                   # only a detection bound
+//	fdplan -bound 2s -tmr 1h -tm 1s                    # plus accuracy targets
+//	fdplan -bound 2s -loss 0.01 -mean 80ms -stddev 20ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wanfd/internal/qosplan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bound  = flag.Duration("bound", 2*time.Second, "hard detection-time bound T_D^U")
+		tmr    = flag.Duration("tmr", 0, "lower bound on mistake recurrence T_MR (0 = none)")
+		tm     = flag.Duration("tm", 0, "upper bound on mistake duration T_M (0 = none)")
+		loss   = flag.Float64("loss", 0.004, "message loss probability")
+		mean   = flag.Duration("mean", 207*time.Millisecond, "mean one-way delay")
+		stddev = flag.Duration("stddev", 9*time.Millisecond, "one-way delay standard deviation")
+	)
+	flag.Parse()
+
+	network := qosplan.Network{
+		LossProb:    *loss,
+		MeanDelay:   *mean,
+		StdDevDelay: *stddev,
+	}
+	plan, err := qosplan.Compute(network, qosplan.Requirements{
+		MaxDetectionTime:     *bound,
+		MinMistakeRecurrence: *tmr,
+		MaxMistakeDuration:   *tm,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: loss %.3f%%, delay %v ± %v\n", *loss*100, *mean, *stddev)
+	fmt.Printf("plan:    eta %v, timeout %v (constant margin %v over the mean delay)\n",
+		plan.Eta.Round(time.Millisecond), plan.Timeout.Round(time.Millisecond),
+		plan.Margin.Round(time.Millisecond))
+	fmt.Println("predicted QoS:")
+	fmt.Printf("  detection bound T_D^U   %v\n", plan.PredictedDetectionBound.Round(time.Millisecond))
+	fmt.Printf("  mean detection  T_D     %v\n", plan.PredictedMeanDetection.Round(time.Millisecond))
+	fmt.Printf("  mistake recurrence T_MR %v\n", plan.PredictedMistakeRecurrence.Round(time.Second))
+	fmt.Printf("  mistake duration   T_M  %v\n", plan.PredictedMistakeDuration.Round(time.Millisecond))
+	fmt.Printf("  query accuracy     P_A  %.6f\n", plan.PredictedQueryAccuracy)
+	fmt.Println("\nrun it: fdmonitor with an NFD-E detector, or wanfd.NewDetector with")
+	fmt.Println("the MEAN predictor and a constant margin of the printed size.")
+	return nil
+}

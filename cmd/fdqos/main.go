@@ -1,0 +1,208 @@
+// Command fdqos reproduces the paper's QoS experiment (§5.2): it runs the
+// 30 predictor×margin failure detectors against the identical simulated
+// heartbeat stream with injected crashes and prints the textual equivalent
+// of Figures 4–8 plus diagnostics.
+//
+// Usage:
+//
+//	fdqos                     # full reproduction (13 runs × 10 000 cycles)
+//	fdqos -runs 2 -cycles 2000
+//	fdqos -params             # print Table 5 parameters and exit
+//	fdqos -baselines          # include NFD-E and Bertier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wanfd/internal/cli"
+	"wanfd/internal/experiment"
+	"wanfd/internal/nekostat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdqos:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runs      = flag.Int("runs", 13, "independent experiment runs (paper: 13)")
+		cycles    = flag.Int("cycles", 10000, "heartbeat cycles per run")
+		eta       = flag.Duration("eta", time.Second, "heartbeat period η")
+		mttc      = flag.Duration("mttc", 300*time.Second, "mean time to crash")
+		ttr       = flag.Duration("ttr", 30*time.Second, "time to repair")
+		seed      = flag.Int64("seed", 1, "random seed")
+		preset    = flag.String("preset", "italy-japan", "channel preset: italy-japan, lan, lossy-mobile, bottleneck")
+		baselines = flag.Bool("baselines", false, "include the NFD-E and Bertier baselines")
+		params    = flag.Bool("params", false, "print the experiment parameters (Table 5) and exit")
+		csvOut    = flag.String("csv", "", "also write the per-detector metrics as CSV to this file")
+		tracePath = flag.String("trace", "", "replay a recorded delay trace (from fdwan -trace-out) instead of the preset channel")
+		pushpull  = flag.Bool("pushpull", false, "run the push-vs-pull style comparison (§2.2) and exit")
+		accrual   = flag.String("accrual", "", "comma-separated φ-accrual thresholds to race against the 30 detectors (e.g. \"2,5,8\")")
+		withCI    = flag.Bool("ci", false, "render the sample-backed figures with 95% confidence half-widths")
+		eventsOut = flag.String("events", "", "write each run's raw event timeline to <prefix>.run<N>.jsonl")
+		plot      = flag.Bool("plot", false, "render the figures as ASCII bar charts as well")
+		skew      = flag.Duration("skew", 0, "inject a monitor-side clock error (violates the paper's NTP assumption)")
+		sweep     = flag.String("sweep", "", "run a margin-parameter sweep instead: CI (sweep γ) or JAC (sweep φ)")
+		sweepVals = flag.String("sweep-params", "", "comma-separated sweep values (default 0.5,1,2,3.31,6)")
+		sweepPred = flag.String("sweep-predictor", "LAST", "predictor for the sweep")
+		sweepLoss = flag.Bool("sweep-loss", false, "run a loss-rate ablation instead (same delays, varying loss)")
+	)
+	flag.Parse()
+
+	p, err := cli.ParsePreset(*preset)
+	if err != nil {
+		return err
+	}
+	delays, err := cli.LoadTrace(*tracePath)
+	if err != nil {
+		return err
+	}
+	if *sweepLoss {
+		points, err := experiment.RunLossSweep(experiment.LossSweepConfig{
+			NumCycles: *cycles,
+			Eta:       *eta,
+			MTTC:      *mttc,
+			TTR:       *ttr,
+			Seed:      *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Loss-rate ablation: LAST+JAC_med, identical delay process")
+		fmt.Print(experiment.LossSweepTable(points))
+		return nil
+	}
+	if *sweep != "" {
+		params, err := parseThresholds(*sweepVals)
+		if err != nil {
+			return err
+		}
+		points, err := experiment.RunMarginSweep(experiment.SweepConfig{
+			Predictor:    *sweepPred,
+			MarginFamily: *sweep,
+			Params:       params,
+			Runs:         *runs,
+			NumCycles:    *cycles,
+			Eta:          *eta,
+			MTTC:         *mttc,
+			TTR:          *ttr,
+			Preset:       p,
+			Seed:         *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Margin sweep: %s + SM_%s\n", *sweepPred, *sweep)
+		fmt.Print(experiment.SweepTable(*sweep, points))
+		return nil
+	}
+	if *pushpull {
+		cmp, err := experiment.RunPushPull(experiment.PushPullConfig{
+			NumCycles: *cycles,
+			Eta:       *eta,
+			MTTC:      *mttc,
+			TTR:       *ttr,
+			Seed:      *seed,
+			Preset:    p,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(cmp.Report())
+		return nil
+	}
+	thresholds, err := parseThresholds(*accrual)
+	if err != nil {
+		return err
+	}
+	cfg := experiment.QoSConfig{
+		Runs:              *runs,
+		NumCycles:         *cycles,
+		Eta:               *eta,
+		MTTC:              *mttc,
+		TTR:               *ttr,
+		Seed:              *seed,
+		Preset:            p,
+		Baselines:         *baselines,
+		DelayTrace:        delays,
+		AccrualThresholds: thresholds,
+		KeepEvents:        *eventsOut != "",
+		ClockSkew:         *skew,
+	}
+	if *params {
+		fmt.Print(cfg.ParamsTable())
+		return nil
+	}
+	res, err := experiment.RunQoS(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if *plot {
+		for _, m := range experiment.AllMetrics {
+			fmt.Println()
+			fmt.Print(res.FigurePlot(m))
+		}
+	}
+	if *withCI {
+		for _, m := range []experiment.Metric{experiment.MetricTD, experiment.MetricTM, experiment.MetricTMR} {
+			fmt.Println()
+			fmt.Print(res.FigureTableCI(m))
+		}
+	}
+	if *csvOut != "" {
+		if err := os.WriteFile(*csvOut, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote CSV to %s\n", *csvOut)
+	}
+	if *eventsOut != "" {
+		for i, events := range res.RunEvents {
+			path := fmt.Sprintf("%s.run%d.jsonl", *eventsOut, i)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = nekostat.WriteEvents(f, events)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d event timelines to %s.run*.jsonl\n", len(res.RunEvents), *eventsOut)
+	}
+	for _, m := range experiment.AllMetrics {
+		best, v, err := res.BestCombo(m)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("best %-6s %-16s %.3f\n", m.String(), best.Name(), v)
+	}
+	return nil
+}
+
+// parseThresholds parses a comma-separated list of positive floats.
+func parseThresholds(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad accrual threshold %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

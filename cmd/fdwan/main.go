@@ -1,0 +1,123 @@
+// Command fdwan characterizes a simulated WAN channel the way the paper's
+// Table 4 characterizes the Italy–Japan connection, and can export the
+// sampled delay trace for replay.
+//
+// Usage:
+//
+//	fdwan                                # Table 4 for the Italy–Japan preset
+//	fdwan -preset lossy-mobile -samples 50000
+//	fdwan -trace-out delays.trc          # save a binary delay trace
+//	fdwan -trace-out delays.txt          # save a text delay trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"wanfd/internal/arima"
+	"wanfd/internal/cli"
+	"wanfd/internal/stats"
+	"wanfd/internal/wan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdwan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		samples  = flag.Int("samples", 100000, "packets to sample")
+		seed     = flag.Int64("seed", 1, "random seed")
+		preset   = flag.String("preset", "italy-japan", "channel preset: italy-japan, lan, lossy-mobile, bottleneck")
+		eta      = flag.Duration("eta", time.Second, "sending period")
+		traceOut = flag.String("trace-out", "", "write the sampled delay trace to this file (.txt = text format)")
+		acfLags  = flag.Int("acf", 0, "also print the delay autocorrelation function up to this many lags")
+	)
+	flag.Parse()
+
+	p, err := cli.ParsePreset(*preset)
+	if err != nil {
+		return err
+	}
+	ch, err := wan.NewPresetChannel(p, *seed, "fdwan")
+	if err != nil {
+		return err
+	}
+	delays, err := wan.CollectDelays(ch, *samples, *eta)
+	if err != nil {
+		return err
+	}
+	c := characterizeDelays(delays, *samples)
+	fmt.Printf("Table 4 — Characteristics of the %s channel\n", p)
+	fmt.Print(c.Table())
+
+	if *acfLags > 0 {
+		if err := printACF(delays, *acfLags); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		if err := cli.SaveTrace(*traceOut, delays); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d delays to %s\n", len(delays), *traceOut)
+	}
+	return nil
+}
+
+// characterizeDelays summarizes an already-collected delay series (the
+// channel was consumed by CollectDelays, so Characterize cannot be reused).
+func characterizeDelays(delays []time.Duration, offered int) wan.Characterization {
+	series := make([]float64, len(delays))
+	for i, d := range delays {
+		series[i] = float64(d) / float64(time.Millisecond)
+	}
+	sum, err := stats.Summarize(series)
+	if err != nil {
+		return wan.Characterization{Samples: offered, LossRate: 1}
+	}
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	return wan.Characterization{
+		Samples:     offered,
+		MeanDelay:   ms(sum.Mean),
+		StdDevDelay: ms(sum.StdDev),
+		MinDelay:    ms(sum.Min),
+		MaxDelay:    ms(sum.Max),
+		P50Delay:    ms(sum.P50),
+		P95Delay:    ms(sum.P95),
+		P99Delay:    ms(sum.P99),
+		LossRate:    1 - float64(len(delays))/float64(offered),
+	}
+}
+
+// printACF prints the sample autocorrelation function of the delay series —
+// the temporal-structure fingerprint that separates a WAN channel from
+// white jitter (and the input signal the ARIMA predictor exploits).
+func printACF(delays []time.Duration, lags int) error {
+	series := make([]float64, len(delays))
+	for i, d := range delays {
+		series[i] = float64(d) / float64(time.Millisecond)
+	}
+	gamma, err := arima.Autocovariance(series, lags)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nAutocorrelation of one-way delays\n")
+	for k := 1; k <= lags; k++ {
+		r := gamma[k] / gamma[0]
+		bar := int(math.Round(math.Abs(r) * 40))
+		sign := "+"
+		if r < 0 {
+			sign = "-"
+		}
+		fmt.Printf("lag %3d  %+.3f %s%s\n", k, r, sign, strings.Repeat("=", bar))
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package wanfd_test
+
+import (
+	"fmt"
+	"time"
+
+	"wanfd"
+)
+
+// Embed a failure detector: feed it heartbeats from your own transport and
+// query it at any time.
+func ExampleNewDetector() {
+	det, err := wanfd.NewDetector(wanfd.DetectorConfig{
+		Predictor: "LAST",    // the paper's recommended combination:
+		Margin:    "JAC_med", // LAST + SM_JAC
+		Eta:       time.Second,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer det.Stop()
+
+	// On every heartbeat your transport receives:
+	det.Heartbeat(0, time.Now().Add(-200*time.Millisecond))
+
+	fmt.Println(det.Name(), det.Suspected())
+	// Output: LAST+JAC_med false
+}
+
+// List the paper's 30 predictor×margin combinations.
+func ExampleCombinations() {
+	combos := wanfd.Combinations()
+	fmt.Println(len(combos), combos[0].Name())
+	// Output: 30 ARIMA+CI_low
+}
+
+// Reproduce the paper's Table 4: characterize the simulated Italy–Japan
+// channel.
+func ExampleCharacterizeChannel() {
+	c, err := wanfd.CharacterizeChannel(wanfd.ChannelItalyJapan, 50000, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("mean %dms min %dms loss<1%%: %v\n",
+		c.MeanDelay.Round(10*time.Millisecond)/time.Millisecond,
+		c.MinDelay.Round(10*time.Millisecond)/time.Millisecond,
+		c.LossRate < 0.01)
+	// Output: mean 210ms min 190ms loss<1%: true
+}
+
+// Reproduce the paper's Table 3: rank the predictors by one-step accuracy.
+func ExampleReproduceAccuracy() {
+	rows, err := wanfd.ReproduceAccuracy(wanfd.ChannelItalyJapan, 20000, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("most accurate:", rows[0].Predictor)
+	// Output: most accurate: ARIMA
+}
+
+// Size a constant-timeout detector from QoS requirements (the Chen et al.
+// approach).
+func ExamplePlanDetector() {
+	plan, err := wanfd.PlanDetector(wanfd.NetworkModel{
+		LossProb:    0.004,
+		MeanDelay:   207 * time.Millisecond,
+		StdDevDelay: 9 * time.Millisecond,
+	}, wanfd.QoSRequirements{
+		MaxDetectionTime:     2 * time.Second,
+		MinMistakeRecurrence: 10 * time.Minute,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("bound met: %v, accuracy met: %v\n",
+		plan.PredictedDetectionBound <= 2*time.Second,
+		plan.PredictedMistakeRecurrence >= 10*time.Minute)
+	// Output: bound met: true, accuracy met: true
+}
+
+// A φ-accrual suspicion level instead of a boolean output.
+func ExampleNewAccrual() {
+	a, err := wanfd.NewAccrual(32, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a.Heartbeat()
+	fmt.Println(a.Suspected(8))
+	// Output: false
+}

@@ -1,0 +1,54 @@
+// Comparison: rank all 30 of the paper's detector combinations on the
+// simulated Italy–Japan WAN — a reduced rerun of the paper's §5.2
+// experiment through the public API.
+//
+// Run with: go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"wanfd"
+)
+
+func main() {
+	fmt.Println("running 2 runs x 5000 cycles with all 30 combinations (≈ seconds)...")
+	reports, err := wanfd.ReproduceQoS(wanfd.QoSOptions{
+		Runs:      2,
+		NumCycles: 5000,
+		Eta:       time.Second,
+		MTTC:      300 * time.Second,
+		TTR:       30 * time.Second,
+		Seed:      42,
+		Baselines: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-18s %10s %10s %10s %10s %10s\n",
+		"detector", "T_D ms", "T_D^U ms", "T_M ms", "T_MR ms", "P_A")
+	for _, r := range reports {
+		fmt.Printf("%-18s %10.1f %10.1f %10.1f %10.1f %10.6f\n",
+			r.Detector, r.MeanTD, r.MaxTD, r.MeanTM, r.MeanTMR, r.PA)
+	}
+
+	byTD := append([]wanfd.QoSReport(nil), reports...)
+	sort.Slice(byTD, func(i, j int) bool { return byTD[i].MeanTD < byTD[j].MeanTD })
+	byPA := append([]wanfd.QoSReport(nil), reports...)
+	sort.Slice(byPA, func(i, j int) bool { return byPA[i].PA > byPA[j].PA })
+
+	fmt.Println("\nfastest detection (best T_D):")
+	for _, r := range byTD[:3] {
+		fmt.Printf("  %-18s %.1f ms\n", r.Detector, r.MeanTD)
+	}
+	fmt.Println("most accurate (best P_A):")
+	for _, r := range byPA[:3] {
+		fmt.Printf("  %-18s %.6f\n", r.Detector, r.PA)
+	}
+	fmt.Println("\nthe paper's trade-off: no combination tops both lists —")
+	fmt.Println("pick for your application (LAST+JAC_med is the paper's all-rounder).")
+}

@@ -1,0 +1,100 @@
+// Fleetmonitor: watch several processes from one socket. Three heartbeaters
+// run on loopback; a MultiMonitor keeps one failure detector per peer
+// (identified by source address). We kill one peer, watch only it become
+// suspected, then bring it back.
+//
+// Run with: go run ./examples/fleetmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"wanfd"
+)
+
+func main() {
+	monAddr := freePort()
+	peers := map[string]string{
+		"api-1":   freePort(),
+		"db-1":    freePort(),
+		"cache-1": freePort(),
+	}
+
+	mon, err := wanfd.ListenAndMonitorMany(wanfd.MultiMonitorConfig{
+		Listen: monAddr,
+		Peers:  peers,
+		Eta:    50 * time.Millisecond,
+		OnChange: func(peer string, suspected bool, at time.Duration) {
+			state := "TRUST"
+			if suspected {
+				state = "SUSPECT"
+			}
+			fmt.Printf("  [%6.2fs] %-8s %s\n", at.Seconds(), peer, state)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+
+	heartbeaters := make(map[string]*wanfd.Heartbeater, len(peers))
+	for name, addr := range peers {
+		hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{
+			Listen: addr,
+			Remote: monAddr,
+			Eta:    50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		heartbeaters[name] = hb
+		defer hb.Close()
+	}
+
+	fmt.Println("phase 1: all peers heartbeating")
+	time.Sleep(time.Second)
+	printStatus(mon)
+
+	fmt.Println("phase 2: killing db-1")
+	_ = heartbeaters["db-1"].Close()
+	time.Sleep(time.Second)
+	printStatus(mon)
+
+	fmt.Println("phase 3: restarting db-1")
+	hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{
+		Listen: peers["db-1"],
+		Remote: monAddr,
+		Eta:    50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hb.Close()
+	time.Sleep(time.Second)
+	printStatus(mon)
+}
+
+func printStatus(mon *wanfd.MultiMonitor) {
+	for _, s := range mon.Status() {
+		state := "up"
+		if s.Suspected {
+			state = "SUSPECTED"
+		}
+		fmt.Printf("  %-8s %-9s heartbeats=%-4d timeout=%v\n",
+			s.Peer, state, s.Heartbeats, s.Timeout.Round(time.Millisecond))
+	}
+}
+
+// freePort reserves a loopback UDP port and releases it for reuse.
+func freePort() string {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := pc.LocalAddr().String()
+	_ = pc.Close()
+	return addr
+}

@@ -1,0 +1,119 @@
+// QoS planning: size a detector from requirements instead of picking one.
+// Given a network characterization (here: the paper's Table 4 numbers) and
+// QoS targets, the planner computes the heartbeat period and constant
+// timeout; we then run the planned detector against a real loopback
+// heartbeater at the planned rate and watch it meet its detection bound.
+//
+// Run with: go run ./examples/qosplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"wanfd"
+)
+
+func main() {
+	network := wanfd.NetworkModel{
+		LossProb:    0.004,
+		MeanDelay:   207 * time.Millisecond,
+		StdDevDelay: 9 * time.Millisecond,
+	}
+	req := wanfd.QoSRequirements{
+		MaxDetectionTime:     2 * time.Second,
+		MinMistakeRecurrence: 10 * time.Minute,
+	}
+	plan, err := wanfd.PlanDetector(network, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("requirements: detect within %v, mistakes rarer than every %v\n",
+		req.MaxDetectionTime, req.MinMistakeRecurrence)
+	fmt.Printf("plan: eta %v, timeout %v (margin %v over the mean delay)\n",
+		plan.Eta.Round(time.Millisecond), plan.Timeout.Round(time.Millisecond),
+		plan.Margin.Round(time.Millisecond))
+	fmt.Printf("predicted: T_D^U %v, T_MR %v, P_A %.6f\n\n",
+		plan.PredictedDetectionBound.Round(time.Millisecond),
+		plan.PredictedMistakeRecurrence.Round(time.Second),
+		plan.PredictedQueryAccuracy)
+
+	// Materialize the plan and drive it with a real heartbeat stream at
+	// the planned rate (loopback stands in for the WAN here; the delays
+	// are near zero, safely inside the planned timeout).
+	var suspectedAt atomic.Int64
+	det, err := plan.Build(func(at time.Duration) {
+		suspectedAt.Store(int64(at))
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer det.Stop()
+
+	monAddr, hbAddr := freePort(), freePort()
+	hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{
+		Listen: hbAddr,
+		Remote: monAddr,
+		Eta:    plan.Eta,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A tiny bridge: receive the UDP heartbeats ourselves and feed the
+	// planned detector (what an application embedding the detector does).
+	pc, err := net.ListenPacket("udp", monAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pc.Close()
+	stop := make(chan struct{})
+	go func() {
+		buf := make([]byte, 2048)
+		var seq int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			n, _, err := pc.ReadFrom(buf)
+			if err != nil || n == 0 {
+				continue
+			}
+			det.Heartbeat(seq, time.Now())
+			seq++
+		}
+	}()
+
+	fmt.Printf("phase 1: heartbeating at the planned eta (%v) for 3 periods\n", plan.Eta.Round(time.Millisecond))
+	time.Sleep(3 * plan.Eta)
+	fmt.Printf("  suspected: %v\n", det.Suspected())
+
+	fmt.Println("phase 2: crash")
+	crashAt := time.Now()
+	_ = hb.Close()
+	for det.Suspected() == false && time.Since(crashAt) < 2*req.MaxDetectionTime {
+		time.Sleep(10 * time.Millisecond)
+	}
+	detectionTook := time.Since(crashAt)
+	close(stop)
+	fmt.Printf("  detected after %v (bound %v): within bound = %v\n",
+		detectionTook.Round(time.Millisecond), req.MaxDetectionTime,
+		detectionTook <= req.MaxDetectionTime)
+}
+
+// freePort reserves a loopback UDP port and releases it for reuse.
+func freePort() string {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := pc.LocalAddr().String()
+	_ = pc.Close()
+	return addr
+}

@@ -1,0 +1,3 @@
+module wanfd
+
+go 1.22

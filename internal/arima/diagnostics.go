@@ -1,0 +1,144 @@
+package arima
+
+import (
+	"fmt"
+	"math"
+)
+
+// LjungBoxResult reports the Ljung–Box portmanteau test of residual
+// whiteness: small p-values reject "the residuals are white noise", i.e.
+// the fitted model left structure on the table.
+type LjungBoxResult struct {
+	// Q is the Ljung–Box statistic.
+	Q float64
+	// Lags is the number of autocorrelation lags tested.
+	Lags int
+	// DegreesOfFreedom is Lags minus the number of fitted ARMA
+	// coefficients.
+	DegreesOfFreedom int
+	// PValue is P(χ²_dof ≥ Q).
+	PValue float64
+}
+
+// LjungBox computes the Ljung–Box test on a residual series, with
+// fittedParams = p + q of the model that produced the residuals (0 when
+// testing a raw series). lags must exceed fittedParams.
+func LjungBox(resid []float64, lags, fittedParams int) (LjungBoxResult, error) {
+	if lags <= 0 {
+		return LjungBoxResult{}, fmt.Errorf("arima: lags must be positive, got %d", lags)
+	}
+	if fittedParams < 0 {
+		return LjungBoxResult{}, fmt.Errorf("arima: negative fitted params %d", fittedParams)
+	}
+	dof := lags - fittedParams
+	if dof <= 0 {
+		return LjungBoxResult{}, fmt.Errorf("arima: lags %d must exceed fitted params %d", lags, fittedParams)
+	}
+	n := len(resid)
+	if n <= lags+1 {
+		return LjungBoxResult{}, fmt.Errorf("arima: series of length %d too short for %d lags", n, lags)
+	}
+	gamma, err := Autocovariance(resid, lags)
+	if err != nil {
+		return LjungBoxResult{}, err
+	}
+	if gamma[0] <= 0 {
+		return LjungBoxResult{}, ErrSingular
+	}
+	q := 0.0
+	for k := 1; k <= lags; k++ {
+		rk := gamma[k] / gamma[0]
+		q += rk * rk / float64(n-k)
+	}
+	q *= float64(n) * float64(n+2)
+	return LjungBoxResult{
+		Q:                q,
+		Lags:             lags,
+		DegreesOfFreedom: dof,
+		PValue:           chiSquaredSF(q, float64(dof)),
+	}, nil
+}
+
+// chiSquaredSF is the survival function P(χ²_k ≥ x) = 1 − P(k/2, x/2),
+// with P the regularized lower incomplete gamma function.
+func chiSquaredSF(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - regularizedGammaP(k/2, x/2)
+}
+
+// regularizedGammaP computes P(a, x) = γ(a, x)/Γ(a) by series expansion for
+// x < a+1 and by continued fraction otherwise (Numerical Recipes style).
+func regularizedGammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Residuals replays the fitted model over a series and returns the one-step
+// prediction residuals (observed − forecast), for diagnostic testing. The
+// model's forecasting state is consumed.
+func (m *Model) Residuals(zs []float64) []float64 {
+	out := make([]float64, 0, len(zs))
+	for _, z := range zs {
+		out = append(out, z-m.ForecastNext())
+		m.Observe(z)
+	}
+	return out
+}

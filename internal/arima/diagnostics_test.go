@@ -1,0 +1,127 @@
+package arima
+
+import (
+	"math"
+	"testing"
+
+	"wanfd/internal/sim"
+)
+
+func TestChiSquaredSFKnownValues(t *testing.T) {
+	// Reference values (R: pchisq(x, k, lower.tail=FALSE)).
+	cases := []struct {
+		x, k, want float64
+	}{
+		{0, 1, 1},
+		{3.841, 1, 0.05},    // 95th percentile of χ²₁
+		{5.991, 2, 0.05},    // 95th percentile of χ²₂
+		{18.307, 10, 0.05},  // 95th percentile of χ²₁₀
+		{2, 2, 0.3678794},   // e^{-1}
+		{10, 2, 0.00673794}, // e^{-5}
+	}
+	for _, c := range cases {
+		got := chiSquaredSF(c.x, c.k)
+		if math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("chiSquaredSF(%v, %v) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedGammaPBounds(t *testing.T) {
+	if got := regularizedGammaP(2, 0); got != 0 {
+		t.Errorf("P(2,0) = %v, want 0", got)
+	}
+	if got := regularizedGammaP(2, 1e6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("P(2,1e6) = %v, want ≈1", got)
+	}
+	if !math.IsNaN(regularizedGammaP(-1, 1)) || !math.IsNaN(regularizedGammaP(1, -1)) {
+		t.Error("invalid arguments should give NaN")
+	}
+	// Monotone in x.
+	prev := -1.0
+	for x := 0.1; x < 20; x += 0.5 {
+		got := regularizedGammaP(3, x)
+		if got < prev {
+			t.Fatalf("P(3, x) not monotone at x=%v", x)
+		}
+		prev = got
+	}
+}
+
+func TestLjungBoxValidation(t *testing.T) {
+	resid := make([]float64, 100)
+	if _, err := LjungBox(resid, 0, 0); err == nil {
+		t.Error("zero lags should be rejected")
+	}
+	if _, err := LjungBox(resid, 5, 5); err == nil {
+		t.Error("dof <= 0 should be rejected")
+	}
+	if _, err := LjungBox(resid, 5, -1); err == nil {
+		t.Error("negative params should be rejected")
+	}
+	if _, err := LjungBox(resid[:5], 10, 0); err == nil {
+		t.Error("short series should be rejected")
+	}
+	if _, err := LjungBox(resid, 10, 0); err == nil {
+		t.Error("constant (zero-variance) series should be rejected")
+	}
+}
+
+func TestLjungBoxWhiteNoiseAccepted(t *testing.T) {
+	rng := sim.NewRNG(61, "lb-white")
+	resid := make([]float64, 5000)
+	for i := range resid {
+		resid[i] = rng.NormFloat64()
+	}
+	res, err := LjungBox(resid, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("white noise rejected: Q=%v p=%v", res.Q, res.PValue)
+	}
+	if res.DegreesOfFreedom != 20 {
+		t.Errorf("dof = %d, want 20", res.DegreesOfFreedom)
+	}
+}
+
+func TestLjungBoxCorrelatedRejected(t *testing.T) {
+	xs := genARMA(5000, 0, []float64{0.7}, nil, 62)
+	res, err := LjungBox(xs, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("AR(1) series accepted as white: Q=%v p=%v", res.Q, res.PValue)
+	}
+}
+
+// The diagnostic loop the toolkit supports: fitting the right model turns a
+// correlated series into white residuals.
+func TestLjungBoxAfterFitting(t *testing.T) {
+	xs := genARMA(20000, 0, []float64{0.6, -0.2}, nil, 63)
+	split := 15000
+	m, err := Fit(xs[:split], 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := m.Residuals(xs[split:])
+
+	raw, err := LjungBox(xs[split:], 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := LjungBox(resid, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.PValue > 1e-6 {
+		t.Errorf("raw AR(2) series accepted as white (p=%v)", raw.PValue)
+	}
+	if fitted.PValue < 0.001 {
+		t.Errorf("fitted residuals rejected as white (Q=%v p=%v)", fitted.Q, fitted.PValue)
+	}
+	if fitted.Q >= raw.Q {
+		t.Errorf("fitting did not reduce the portmanteau statistic: %v >= %v", fitted.Q, raw.Q)
+	}
+}

@@ -1,0 +1,282 @@
+package arima
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit estimates an ARIMA(p, d, q) model on the series zs using the
+// Hannan–Rissanen procedure (long-AR residual proxy + least squares), then
+// primes the returned model's forecasting state with the tail of zs so that
+// ForecastNext immediately predicts the step after the last element of zs.
+//
+// Minimum length: the series must be long enough to difference d times and
+// still leave a regression with more rows than 1+p+q columns (plus the
+// long-AR warm-up when q > 0).
+func Fit(zs []float64, p, d, q int) (*Model, error) {
+	if p < 0 || d < 0 || q < 0 {
+		return nil, fmt.Errorf("arima: negative order (p=%d d=%d q=%d)", p, d, q)
+	}
+	w, err := Difference(zs, d)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reject degenerate (near-constant) differenced series: any fit on
+	// them produces garbage coefficients driven by float rounding noise.
+	mu := mean(w)
+	var dev float64
+	for _, v := range w {
+		dev += (v - mu) * (v - mu)
+	}
+	if dev/float64(len(w)) < 1e-12*(1+mu*mu) {
+		return nil, ErrSingular
+	}
+
+	m := &Model{P: p, D: d, Q: q}
+
+	// Long-AR order for the residual proxy stage.
+	longAR := 0
+	if q > 0 {
+		longAR = 2*(p+q) + 2
+		if longAR < 20 {
+			// A near-unit-root MA needs a long AR(∞) proxy: with θ ≈ 0.9
+			// the AR coefficients decay as θ^k, so order 20 keeps the
+			// truncation bias of the residual proxy below θ^20 ≈ 12%.
+			longAR = 20
+		}
+	}
+	minRows := 3 * (1 + p + q)
+	if len(w) < longAR+max(p, q)+minRows {
+		return nil, fmt.Errorf("arima: series of length %d too short for ARIMA(%d,%d,%d)", len(zs), p, d, q)
+	}
+
+	var resid []float64
+	switch {
+	case p == 0 && q == 0:
+		m.C = mean(w)
+		resid = make([]float64, len(w))
+		for i, v := range w {
+			resid[i] = v - m.C
+		}
+	case q == 0:
+		// Pure AR: OLS of w_t on [1, w_{t-1..t-p}].
+		c, phi, err := fitARLS(w, p)
+		if err != nil {
+			return nil, err
+		}
+		m.C, m.Phi = c, phi
+		resid = arResiduals(w, c, phi)
+	default:
+		// Stage 1: long AR residual proxy via Yule–Walker.
+		aHat, err := longARResiduals(w, longAR)
+		if err != nil {
+			return nil, err
+		}
+		// Stage 2: OLS of w_t on [1, w lags, â lags].
+		c, phi, theta, err := fitARMALS(w, aHat, p, q, longAR)
+		if err != nil {
+			return nil, err
+		}
+		// Guard against non-invertible MA estimates: over-differencing
+		// (fitting d=1 to an already-stationary series, as ARIMA(2,1,1)
+		// does on stable delay traces) drives θ to the unit boundary, and
+		// an estimate beyond it makes the residual recursion explode
+		// exponentially. Shrink θ until the recursion is stable.
+		theta, resid = stabilizeMA(w, c, phi, theta)
+		m.C, m.Phi, m.Theta = c, phi, theta
+	}
+
+	// Robustness clamp: bound future residuals relative to the scale of
+	// the differenced series itself (a residual can never legitimately
+	// dwarf the signal).
+	scale := seriesStd(w)
+	if scale > 0 {
+		m.residClamp = 50 * scale
+	}
+
+	// Prime the forecasting state with the tails.
+	if p > 0 {
+		m.wHist = append(m.wHist, w[len(w)-p:]...)
+	}
+	if q > 0 {
+		m.aHist = append(m.aHist, resid[len(resid)-q:]...)
+	}
+	if d > 0 {
+		m.zHist = append(m.zHist, zs[len(zs)-d:]...)
+	}
+	if !m.Healthy() {
+		return nil, ErrSingular
+	}
+	return m, nil
+}
+
+// fitARLS fits w_t = c + Σ φ_i w_{t−i} + a_t by least squares.
+func fitARLS(w []float64, p int) (c float64, phi []float64, err error) {
+	rows := len(w) - p
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for t := p; t < len(w); t++ {
+		row := make([]float64, 1+p)
+		row[0] = 1
+		for i := 1; i <= p; i++ {
+			row[i] = w[t-i]
+		}
+		x[t-p] = row
+		y[t-p] = w[t]
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		return 0, nil, err
+	}
+	return beta[0], beta[1:], nil
+}
+
+// longARResiduals fits a long AR(m) via Yule–Walker and returns the
+// residual series â (first m entries zero).
+func longARResiduals(w []float64, m int) ([]float64, error) {
+	gamma, err := Autocovariance(w, m)
+	if err != nil {
+		return nil, err
+	}
+	phi, _, err := LevinsonDurbin(gamma, m)
+	if err != nil {
+		return nil, err
+	}
+	mu := mean(w)
+	resid := make([]float64, len(w))
+	for t := m; t < len(w); t++ {
+		pred := mu
+		for i := 1; i <= m; i++ {
+			pred += phi[i-1] * (w[t-i] - mu)
+		}
+		resid[t] = w[t] - pred
+	}
+	return resid, nil
+}
+
+// fitARMALS performs the Hannan–Rissanen stage-2 regression
+// w_t = c + Σ φ_i w_{t−i} + Σ β_j â_{t−j} + a_t and converts the MA signs
+// to the Box–Jenkins convention (θ_j = −β_j).
+func fitARMALS(w, aHat []float64, p, q, warmup int) (c float64, phi, theta []float64, err error) {
+	start := warmup + max(p, q)
+	rows := len(w) - start
+	x := make([][]float64, rows)
+	y := make([]float64, rows)
+	for t := start; t < len(w); t++ {
+		row := make([]float64, 1+p+q)
+		row[0] = 1
+		for i := 1; i <= p; i++ {
+			row[i] = w[t-i]
+		}
+		for j := 1; j <= q; j++ {
+			row[p+j] = aHat[t-j]
+		}
+		x[t-start] = row
+		y[t-start] = w[t]
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	phi = beta[1 : 1+p]
+	theta = make([]float64, q)
+	for j := 0; j < q; j++ {
+		theta[j] = -beta[1+p+j]
+	}
+	return beta[0], phi, theta, nil
+}
+
+// seriesStd returns the population standard deviation of xs.
+func seriesStd(xs []float64) float64 {
+	mu := mean(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mu) * (x - mu)
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// stabilizeMA keeps the MA part invertible. Over-differenced series push
+// the θ estimate to (or past) the unit boundary, where the residual
+// recursion diverges. First the coefficients are projected into the
+// invertible region (Σ|θ_j| ≤ 0.98, a sufficient condition that preserves
+// near-boundary smoothing power — the common case for ARIMA(·,1,·) on
+// stationary delays); if the in-sample recursion still misbehaves, θ is
+// shrunk toward zero, which is trivially stable.
+func stabilizeMA(w []float64, c float64, phi, theta []float64) ([]float64, []float64) {
+	th := append([]float64(nil), theta...)
+	var absSum float64
+	for _, t := range th {
+		absSum += math.Abs(t)
+	}
+	if absSum > 0.98 {
+		f := 0.98 / absSum
+		for j := range th {
+			th[j] *= f
+		}
+	}
+	bound := 20 * seriesStd(w)
+	if bound == 0 {
+		bound = 1
+	}
+	for attempt := 0; ; attempt++ {
+		resid := armaResiduals(w, c, phi, th)
+		if maxAbs(resid) <= bound || attempt >= 8 {
+			if attempt >= 8 && maxAbs(resid) > bound {
+				for j := range th {
+					th[j] = 0
+				}
+				resid = armaResiduals(w, c, phi, th)
+			}
+			return th, resid
+		}
+		for j := range th {
+			th[j] *= 0.5
+		}
+	}
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// arResiduals runs the AR recursion to produce in-sample residuals (first p
+// entries zero).
+func arResiduals(w []float64, c float64, phi []float64) []float64 {
+	p := len(phi)
+	resid := make([]float64, len(w))
+	for t := p; t < len(w); t++ {
+		pred := c
+		for i := 1; i <= p; i++ {
+			pred += phi[i-1] * w[t-i]
+		}
+		resid[t] = w[t] - pred
+	}
+	return resid
+}
+
+// armaResiduals runs the full ARMA recursion to produce in-sample residuals
+// (first max(p,q) entries zero).
+func armaResiduals(w []float64, c float64, phi, theta []float64) []float64 {
+	p, q := len(phi), len(theta)
+	start := max(p, q)
+	resid := make([]float64, len(w))
+	for t := start; t < len(w); t++ {
+		pred := c
+		for i := 1; i <= p; i++ {
+			pred += phi[i-1] * w[t-i]
+		}
+		for j := 1; j <= q; j++ {
+			pred -= theta[j-1] * resid[t-j]
+		}
+		resid[t] = w[t] - pred
+	}
+	return resid
+}

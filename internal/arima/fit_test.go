@@ -1,0 +1,216 @@
+package arima
+
+import (
+	"math"
+	"testing"
+
+	"wanfd/internal/sim"
+)
+
+// genARMA simulates an ARMA(p,q) series with the given coefficients and
+// unit-variance Gaussian innovations.
+func genARMA(n int, c float64, phi, theta []float64, seed int64) []float64 {
+	rng := sim.NewRNG(seed, "genarma")
+	p, q := len(phi), len(theta)
+	xs := make([]float64, n)
+	as := make([]float64, n)
+	for t := 0; t < n; t++ {
+		as[t] = rng.NormFloat64()
+		x := c + as[t]
+		for i := 1; i <= p && t-i >= 0; i++ {
+			x += phi[i-1] * xs[t-i]
+		}
+		for j := 1; j <= q && t-j >= 0; j++ {
+			x -= theta[j-1] * as[t-j]
+		}
+		xs[t] = x
+	}
+	return xs
+}
+
+// cumsum integrates a series once (turns an ARMA into an ARIMA with d=1).
+func cumsum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var s float64
+	for i, x := range xs {
+		s += x
+		out[i] = s
+	}
+	return out
+}
+
+func TestFitRecoversAR2(t *testing.T) {
+	xs := genARMA(50000, 0, []float64{0.5, -0.3}, nil, 11)
+	m, err := Fit(xs, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Phi[0], 0.5, 0.03) || !almostEqual(m.Phi[1], -0.3, 0.03) {
+		t.Errorf("phi = %v, want ≈[0.5 -0.3]", m.Phi)
+	}
+	if !almostEqual(m.C, 0, 0.05) {
+		t.Errorf("c = %v, want ≈0", m.C)
+	}
+}
+
+func TestFitRecoversMA1(t *testing.T) {
+	xs := genARMA(50000, 0, nil, []float64{0.6}, 12)
+	m, err := Fit(xs, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Theta[0], 0.6, 0.05) {
+		t.Errorf("theta = %v, want ≈[0.6]", m.Theta)
+	}
+}
+
+func TestFitRecoversARMA11(t *testing.T) {
+	xs := genARMA(80000, 1, []float64{0.7}, []float64{0.4}, 13)
+	m, err := Fit(xs, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Phi[0], 0.7, 0.05) {
+		t.Errorf("phi = %v, want ≈[0.7]", m.Phi)
+	}
+	if !almostEqual(m.Theta[0], 0.4, 0.08) {
+		t.Errorf("theta = %v, want ≈[0.4]", m.Theta)
+	}
+	if !almostEqual(m.C, 1, 0.1) {
+		t.Errorf("c = %v, want ≈1", m.C)
+	}
+}
+
+func TestFitWhiteNoiseMeanModel(t *testing.T) {
+	rng := sim.NewRNG(14, "wn")
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = 5 + rng.NormFloat64()
+	}
+	m, err := Fit(xs, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.C, 5, 0.1) {
+		t.Errorf("c = %v, want ≈5", m.C)
+	}
+	if got := m.ForecastNext(); !almostEqual(got, 5, 0.1) {
+		t.Errorf("forecast = %v, want ≈5", got)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	xs := make([]float64, 100)
+	if _, err := Fit(xs, -1, 0, 0); err == nil {
+		t.Error("negative order should be rejected")
+	}
+	if _, err := Fit(xs[:5], 2, 1, 1); err == nil {
+		t.Error("too-short series should be rejected")
+	}
+}
+
+func TestFitConstantSeriesARFails(t *testing.T) {
+	xs := make([]float64, 500) // all zeros: singular design
+	if _, err := Fit(xs, 2, 0, 1); err == nil {
+		t.Error("constant series with MA terms should fail to fit (singular)")
+	}
+}
+
+func TestModelOneStepForecastARIMA211(t *testing.T) {
+	// The paper's chosen order on an integrated ARMA series.
+	base := genARMA(30000, 0, []float64{0.5, 0.2}, []float64{0.3}, 15)
+	xs := cumsum(base)
+	m, err := Fit(xs[:20000], 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rolling one-step forecasts must beat the naive LAST predictor on
+	// this correlated series.
+	var mseModel, mseLast float64
+	prev := xs[19999]
+	for _, z := range xs[20000:] {
+		p := m.ForecastNext()
+		mseModel += (p - z) * (p - z)
+		mseLast += (prev - z) * (prev - z)
+		m.Observe(z)
+		prev = z
+	}
+	if !(mseModel < mseLast) {
+		t.Errorf("ARIMA(2,1,1) mse %v not better than LAST mse %v", mseModel, mseLast)
+	}
+	if !m.Healthy() {
+		t.Error("model unhealthy after rolling forecast")
+	}
+}
+
+func TestModelObserveForecastConsistency(t *testing.T) {
+	// After observing z, the model's state must reflect it: for a pure
+	// AR(1) with phi=1, c=0, forecast equals the last observation.
+	m := &Model{P: 1, D: 0, Q: 0, Phi: []float64{1}, wHist: []float64{0}}
+	m.Observe(7)
+	if got := m.ForecastNext(); got != 7 {
+		t.Errorf("forecast = %v, want 7", got)
+	}
+	m.Observe(9)
+	if got := m.ForecastNext(); got != 9 {
+		t.Errorf("forecast = %v, want 9", got)
+	}
+}
+
+func TestModelRandomWalkForecast(t *testing.T) {
+	// ARIMA(0,1,0) with c=0 is a random walk: forecast = last observation.
+	m := &Model{P: 0, D: 1, Q: 0, zHist: []float64{10}}
+	if got := m.ForecastNext(); got != 10 {
+		t.Errorf("forecast = %v, want 10", got)
+	}
+	m.Observe(13)
+	if got := m.ForecastNext(); got != 13 {
+		t.Errorf("forecast = %v, want 13", got)
+	}
+}
+
+func TestModelResidClampBoundsDivergence(t *testing.T) {
+	// A wildly non-invertible MA model would diverge without the clamp.
+	m := &Model{
+		P: 0, D: 0, Q: 1,
+		Theta:      []float64{-3}, // |theta| > 1: non-invertible
+		aHist:      []float64{0},
+		residClamp: 10,
+	}
+	for i := 0; i < 1000; i++ {
+		m.ForecastNext()
+		m.Observe(float64(i % 5))
+	}
+	if !m.Healthy() {
+		t.Error("clamped model became unhealthy")
+	}
+	if f := m.ForecastNext(); math.Abs(f) > 100 {
+		t.Errorf("clamped forecast = %v, still diverged", f)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{P: 2, D: 1, Q: 1, Phi: []float64{0.5, 0.1}, Theta: []float64{0.3}}
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestFitPrimedForecastIsReasonable(t *testing.T) {
+	// After Fit on a slowly-varying series, the first forecast must be in
+	// the neighbourhood of the last observations, not of the series start.
+	rng := sim.NewRNG(16, "ramp")
+	n := 5000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)*0.01 + 0.05*rng.NormFloat64() // noisy ramp to 50
+	}
+	m, err := Fit(xs, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.ForecastNext()
+	if math.Abs(got-50) > 1 {
+		t.Errorf("primed forecast = %v, want ≈50 (series end)", got)
+	}
+}

@@ -1,0 +1,104 @@
+// Package arima implements the time-series machinery behind the paper's
+// most accurate predictor: differencing, Yule–Walker / Levinson–Durbin AR
+// estimation, Hannan–Rissanen ARMA estimation, one-step ARIMA forecasting,
+// and mean-square-error-driven order selection over (p, d, q). It replaces
+// the RPS toolkit the paper used.
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system arising during estimation is
+// (numerically) singular, typically because the series is constant or far
+// too short for the requested order.
+var ErrSingular = errors.New("arima: singular system")
+
+// solve solves the n×n linear system a·x = b in place using Gaussian
+// elimination with partial pivoting. a and b are destroyed.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("arima: solve dimension mismatch (%d rows, %d rhs)", n, len(b))
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// leastSquares solves min ‖X·beta − y‖² via the normal equations. X is a
+// row-major design matrix with len(y) rows.
+func leastSquares(x [][]float64, y []float64) ([]float64, error) {
+	rows := len(x)
+	if rows == 0 || rows != len(y) {
+		return nil, fmt.Errorf("arima: least squares dimension mismatch (%d rows, %d targets)", rows, len(y))
+	}
+	cols := len(x[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("arima: least squares with zero predictors")
+	}
+	if rows < cols {
+		return nil, fmt.Errorf("arima: underdetermined least squares (%d rows < %d cols)", rows, cols)
+	}
+	xtx := make([][]float64, cols)
+	for i := range xtx {
+		xtx[i] = make([]float64, cols)
+	}
+	xty := make([]float64, cols)
+	for r := 0; r < rows; r++ {
+		row := x[r]
+		if len(row) != cols {
+			return nil, fmt.Errorf("arima: ragged design matrix at row %d", r)
+		}
+		for i := 0; i < cols; i++ {
+			xty[i] += row[i] * y[r]
+			for j := i; j < cols; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		// Tiny ridge for numerical robustness on near-collinear designs.
+		xtx[i][i] += 1e-9
+	}
+	return solve(xtx, xty)
+}

@@ -1,0 +1,150 @@
+package arima
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted ARIMA(p, d, q) model with one-step forecasting state:
+//
+//	Φ_p(B) ∇^d z_t = c + Θ_q(B) a_t,
+//	Φ_p(B) = 1 − φ_1 B − … − φ_p B^p,
+//	Θ_q(B) = 1 − θ_1 B − … − θ_q B^q,
+//
+// the convention of Box & Jenkins used in the paper. After Fit, alternate
+// ForecastNext (ẑ for the next step) and Observe (the realized z) to roll
+// the model forward; each step costs O(p+q+d).
+type Model struct {
+	// P, D, Q are the autoregressive, differencing and moving-average
+	// orders.
+	P, D, Q int
+	// Phi holds φ_1 … φ_p.
+	Phi []float64
+	// Theta holds θ_1 … θ_q.
+	Theta []float64
+	// C is the constant term θ_0.
+	C float64
+
+	// Forecasting state.
+	wHist []float64 // last P differenced values, most recent last
+	aHist []float64 // last Q residuals, most recent last
+	zHist []float64 // last D original observations, most recent last
+
+	residClamp float64 // robustness bound on |residual|
+	pendingW   float64 // ŵ for the next step, valid when pendingOK
+	pendingOK  bool
+}
+
+// forecastW computes the one-step forecast of the differenced series from
+// the current state.
+func (m *Model) forecastW() float64 {
+	w := m.C
+	for i, phi := range m.Phi {
+		w += phi * m.wHist[len(m.wHist)-1-i]
+	}
+	for j, theta := range m.Theta {
+		w -= theta * m.aHist[len(m.aHist)-1-j]
+	}
+	return w
+}
+
+// ForecastNext returns the one-step forecast ẑ_{t+1} of the original
+// (undifferenced) series.
+func (m *Model) ForecastNext() float64 {
+	if !m.pendingOK {
+		m.pendingW = m.forecastW()
+		m.pendingOK = true
+	}
+	z, err := IntegrateForecast(m.pendingW, m.zHist, m.D)
+	if err != nil {
+		// Unreachable: zHist always holds exactly D values after Fit.
+		return m.pendingW
+	}
+	return z
+}
+
+// Observe feeds the realized next value of the original series into the
+// model, updating the forecasting state.
+func (m *Model) Observe(z float64) {
+	if !m.pendingOK {
+		m.pendingW = m.forecastW()
+		m.pendingOK = true
+	}
+	// Realized differenced value: w_{t+1} = Σ_{k=0..d} (−1)^k C(d,k) z_{t+1−k}.
+	w := z
+	coef := 1.0
+	for k := 1; k <= m.D; k++ {
+		coef = coef * float64(m.D-k+1) / float64(k)
+		sign := -1.0
+		if k%2 == 0 {
+			sign = 1
+		}
+		w += sign * coef * m.zHist[len(m.zHist)-k]
+	}
+	resid := w - m.pendingW
+	if m.residClamp > 0 {
+		resid = max(-m.residClamp, min(m.residClamp, resid))
+	}
+	m.pushW(w)
+	m.pushA(resid)
+	m.pushZ(z)
+	m.pendingOK = false
+}
+
+func (m *Model) pushW(w float64) {
+	if m.P == 0 {
+		return
+	}
+	if len(m.wHist) == m.P {
+		copy(m.wHist, m.wHist[1:])
+		m.wHist[m.P-1] = w
+		return
+	}
+	m.wHist = append(m.wHist, w)
+}
+
+func (m *Model) pushA(a float64) {
+	if m.Q == 0 {
+		return
+	}
+	if len(m.aHist) == m.Q {
+		copy(m.aHist, m.aHist[1:])
+		m.aHist[m.Q-1] = a
+		return
+	}
+	m.aHist = append(m.aHist, a)
+}
+
+func (m *Model) pushZ(z float64) {
+	if m.D == 0 {
+		return
+	}
+	if len(m.zHist) == m.D {
+		copy(m.zHist, m.zHist[1:])
+		m.zHist[m.D-1] = z
+		return
+	}
+	m.zHist = append(m.zHist, z)
+}
+
+// String describes the model order and coefficients.
+func (m *Model) String() string {
+	return fmt.Sprintf("ARIMA(%d,%d,%d){c=%.4g phi=%v theta=%v}", m.P, m.D, m.Q, m.C, m.Phi, m.Theta)
+}
+
+// Healthy reports whether the forecasting state contains only finite
+// values; a false result indicates the fitted model is numerically unstable
+// on the observed data and should be refitted.
+func (m *Model) Healthy() bool {
+	for _, v := range m.wHist {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	for _, v := range m.aHist {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return !m.pendingOK || (!math.IsNaN(m.pendingW) && !math.IsInf(m.pendingW, 0))
+}

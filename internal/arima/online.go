@@ -1,0 +1,132 @@
+package arima
+
+import (
+	"fmt"
+)
+
+// OnlineForecaster wraps an ARIMA model with the refitting protocol the
+// paper uses for its ARIMA predictor: the model coefficients are recomputed
+// every RefitEvery observations (N_arima = 1000 in the paper) so the
+// predictor adapts to the variable condition of the network, and one-step
+// forecasts between refits cost O(p+q+d).
+//
+// Until enough observations accumulate to fit the requested order, the
+// forecaster degrades to predicting the last observation (the LAST
+// predictor), which mirrors how any adaptive predictor must bootstrap.
+type OnlineForecaster struct {
+	p, d, q    int
+	refitEvery int
+	maxHistory int
+
+	buf       []float64
+	model     *Model
+	sinceFit  int
+	last      float64
+	haveLast  bool
+	fitErrors int
+}
+
+// OnlineConfig parameterizes an OnlineForecaster.
+type OnlineConfig struct {
+	P, D, Q int
+	// RefitEvery is the number of observations between refits
+	// (paper: 1000). Zero means 1000.
+	RefitEvery int
+	// MaxHistory bounds the number of trailing observations used for each
+	// refit. Zero means 4×RefitEvery.
+	MaxHistory int
+}
+
+// NewOnlineForecaster validates cfg and builds the forecaster.
+func NewOnlineForecaster(cfg OnlineConfig) (*OnlineForecaster, error) {
+	if cfg.P < 0 || cfg.D < 0 || cfg.Q < 0 {
+		return nil, fmt.Errorf("arima: negative order (p=%d d=%d q=%d)", cfg.P, cfg.D, cfg.Q)
+	}
+	refit := cfg.RefitEvery
+	if refit == 0 {
+		refit = 1000
+	}
+	if refit < 0 {
+		return nil, fmt.Errorf("arima: RefitEvery must be positive, got %d", cfg.RefitEvery)
+	}
+	maxHist := cfg.MaxHistory
+	if maxHist == 0 {
+		maxHist = 4 * refit
+	}
+	if maxHist < 0 {
+		return nil, fmt.Errorf("arima: MaxHistory must be positive, got %d", cfg.MaxHistory)
+	}
+	return &OnlineForecaster{
+		p:          cfg.P,
+		d:          cfg.D,
+		q:          cfg.Q,
+		refitEvery: refit,
+		maxHistory: maxHist,
+	}, nil
+}
+
+// minFit is the smallest history at which a fit is attempted.
+func (f *OnlineForecaster) minFit() int {
+	n := f.d + 2*(f.p+f.q) + 2 + max(f.p, f.q) + 3*(1+f.p+f.q)
+	if n < 30 {
+		n = 30
+	}
+	return n
+}
+
+// Predict returns the one-step forecast of the next observation. Before any
+// observation it returns 0; before the first successful fit it returns the
+// last observation.
+func (f *OnlineForecaster) Predict() float64 {
+	if f.model != nil {
+		return f.model.ForecastNext()
+	}
+	if f.haveLast {
+		return f.last
+	}
+	return 0
+}
+
+// Observe feeds the realized observation, refitting on schedule.
+func (f *OnlineForecaster) Observe(z float64) {
+	f.last, f.haveLast = z, true
+	f.buf = append(f.buf, z)
+	if len(f.buf) > f.maxHistory {
+		f.buf = append(f.buf[:0], f.buf[len(f.buf)-f.maxHistory:]...)
+	}
+	if f.model != nil {
+		f.model.Observe(z)
+		if !f.model.Healthy() {
+			f.model = nil
+			f.sinceFit = 0
+		}
+	}
+	f.sinceFit++
+	needFirstFit := f.model == nil && len(f.buf) >= f.minFit()
+	due := f.model != nil && f.sinceFit >= f.refitEvery
+	if needFirstFit || due {
+		f.refit()
+	}
+}
+
+func (f *OnlineForecaster) refit() {
+	m, err := Fit(f.buf, f.p, f.d, f.q)
+	if err != nil {
+		// Keep the previous model (or the LAST fallback) and retry at the
+		// next scheduled refit.
+		f.fitErrors++
+		f.sinceFit = 0
+		return
+	}
+	f.model = m
+	f.sinceFit = 0
+}
+
+// Fitted reports whether a model is currently fitted.
+func (f *OnlineForecaster) Fitted() bool { return f.model != nil }
+
+// FitErrors returns the number of refit attempts that failed.
+func (f *OnlineForecaster) FitErrors() int { return f.fitErrors }
+
+// Model returns the current fitted model, or nil.
+func (f *OnlineForecaster) Model() *Model { return f.model }

@@ -1,0 +1,111 @@
+package arima
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Candidate is one evaluated model order in a grid search.
+type Candidate struct {
+	P, D, Q int
+	// MSqErr is the out-of-sample one-step mean square prediction error,
+	// the paper's accuracy metric for predictors.
+	MSqErr float64
+	// Err records why the candidate could not be evaluated, if non-nil.
+	Err error
+}
+
+// SearchConfig bounds a grid search over (p, d, q).
+type SearchConfig struct {
+	MaxP, MaxD, MaxQ int
+	// TrainFrac is the fraction of the series used for fitting; the rest
+	// is used for rolling one-step evaluation. Zero means 2/3.
+	TrainFrac float64
+}
+
+// Search evaluates every ARIMA order in [0..MaxP]×[0..MaxD]×[0..MaxQ] on zs
+// — the procedure the paper used (via the RPS toolkit) to select
+// ARIMA(2,1,1) in the space [0,0,0]–[10,10,10] — and returns the candidates
+// sorted by ascending msqerr (failed candidates last), with the best one
+// first.
+func Search(zs []float64, cfg SearchConfig) ([]Candidate, error) {
+	if cfg.MaxP < 0 || cfg.MaxD < 0 || cfg.MaxQ < 0 {
+		return nil, fmt.Errorf("arima: negative search bound (%d,%d,%d)", cfg.MaxP, cfg.MaxD, cfg.MaxQ)
+	}
+	frac := cfg.TrainFrac
+	if frac == 0 {
+		frac = 2.0 / 3.0
+	}
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("arima: TrainFrac %v out of (0,1)", frac)
+	}
+	split := int(float64(len(zs)) * frac)
+	if split < 10 || len(zs)-split < 10 {
+		return nil, fmt.Errorf("arima: series of length %d too short for search", len(zs))
+	}
+	train, test := zs[:split], zs[split:]
+
+	// Candidates are independent; evaluate them in parallel.
+	var out []Candidate
+	for p := 0; p <= cfg.MaxP; p++ {
+		for d := 0; d <= cfg.MaxD; d++ {
+			for q := 0; q <= cfg.MaxQ; q++ {
+				out = append(out, Candidate{P: p, D: d, Q: q})
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range out {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := &out[i]
+			c.MSqErr, c.Err = evalOrder(train, test, c.P, c.D, c.Q)
+		}()
+	}
+	wg.Wait()
+	sort.SliceStable(out, func(i, j int) bool {
+		ei, ej := out[i].Err != nil, out[j].Err != nil
+		if ei != ej {
+			return !ei
+		}
+		if ei {
+			return false
+		}
+		return out[i].MSqErr < out[j].MSqErr
+	})
+	if out[0].Err != nil {
+		return out, fmt.Errorf("arima: no candidate could be evaluated: %w", out[0].Err)
+	}
+	return out, nil
+}
+
+// evalOrder fits on train and rolls one-step forecasts through test,
+// returning the mean square prediction error.
+func evalOrder(train, test []float64, p, d, q int) (float64, error) {
+	m, err := Fit(train, p, d, q)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, z := range test {
+		pred := m.ForecastNext()
+		if math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return 0, ErrSingular
+		}
+		diff := pred - z
+		sum += diff * diff
+		m.Observe(z)
+	}
+	if !m.Healthy() {
+		return 0, ErrSingular
+	}
+	return sum / float64(len(test)), nil
+}

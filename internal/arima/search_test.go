@@ -1,0 +1,172 @@
+package arima
+
+import (
+	"testing"
+)
+
+func TestSearchPrefersCorrectOrderFamily(t *testing.T) {
+	// Integrated AR(1): true model ARIMA(1,1,0). The search over a small
+	// grid must rank a differencing model ahead of plain mean models.
+	base := genARMA(6000, 0, []float64{0.8}, nil, 21)
+	xs := cumsum(base)
+	cands, err := Search(xs, SearchConfig{MaxP: 2, MaxD: 1, MaxQ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := cands[0]
+	if best.Err != nil {
+		t.Fatalf("best candidate failed: %v", best.Err)
+	}
+	// An integrated AR(1) is captured either by d=1 directly or by an AR
+	// model with a near-unit root; either way it must not be a pure mean
+	// or MA-only model.
+	if best.D == 0 && best.P == 0 {
+		t.Errorf("best order (%d,%d,%d), want d≥1 or p≥1 on an integrated series", best.P, best.D, best.Q)
+	}
+	// The degenerate mean model (0,0,0) must be clearly worse.
+	var meanModel Candidate
+	for _, c := range cands {
+		if c.P == 0 && c.D == 0 && c.Q == 0 {
+			meanModel = c
+		}
+	}
+	if meanModel.Err == nil && meanModel.MSqErr <= best.MSqErr {
+		t.Errorf("mean model mse %v should exceed best mse %v", meanModel.MSqErr, best.MSqErr)
+	}
+}
+
+func TestSearchSortedByError(t *testing.T) {
+	base := genARMA(3000, 0, []float64{0.6}, nil, 22)
+	cands, err := Search(base, SearchConfig{MaxP: 1, MaxD: 1, MaxQ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2*2*2 {
+		t.Fatalf("candidate count = %d, want 8", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Err == nil && cands[i].Err == nil && cands[i-1].MSqErr > cands[i].MSqErr {
+			t.Errorf("candidates not sorted at %d: %v > %v", i, cands[i-1].MSqErr, cands[i].MSqErr)
+		}
+		if cands[i-1].Err != nil && cands[i].Err == nil {
+			t.Error("failed candidate sorted before a successful one")
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	xs := genARMA(1000, 0, nil, nil, 23)
+	if _, err := Search(xs, SearchConfig{MaxP: -1}); err == nil {
+		t.Error("negative bound should be rejected")
+	}
+	if _, err := Search(xs[:5], SearchConfig{MaxP: 1}); err == nil {
+		t.Error("too-short series should be rejected")
+	}
+	if _, err := Search(xs, SearchConfig{MaxP: 1, TrainFrac: 1.5}); err == nil {
+		t.Error("TrainFrac > 1 should be rejected")
+	}
+}
+
+func TestOnlineForecasterBootstrapsToLast(t *testing.T) {
+	f, err := NewOnlineForecaster(OnlineConfig{P: 2, D: 1, Q: 1, RefitEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict(); got != 0 {
+		t.Errorf("predict before any data = %v, want 0", got)
+	}
+	f.Observe(42)
+	if got := f.Predict(); got != 42 {
+		t.Errorf("predict before fit = %v, want last observation 42", got)
+	}
+	if f.Fitted() {
+		t.Error("should not be fitted after one observation")
+	}
+}
+
+func TestOnlineForecasterFitsAndTracks(t *testing.T) {
+	f, err := NewOnlineForecaster(OnlineConfig{P: 1, D: 0, Q: 0, RefitEvery: 200, MaxHistory: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := genARMA(3000, 2, []float64{0.7}, nil, 24)
+	var mseModel, mseLast float64
+	var evaluated int
+	var prev float64
+	for i, z := range xs {
+		if f.Fitted() && i > 0 {
+			p := f.Predict()
+			mseModel += (p - z) * (p - z)
+			mseLast += (prev - z) * (prev - z)
+			evaluated++
+		}
+		f.Observe(z)
+		prev = z
+	}
+	if !f.Fitted() {
+		t.Fatal("forecaster never fitted")
+	}
+	if evaluated < 2000 {
+		t.Fatalf("only %d forecasts evaluated", evaluated)
+	}
+	if !(mseModel < mseLast) {
+		t.Errorf("online AR(1) mse %v not better than LAST mse %v", mseModel, mseLast)
+	}
+}
+
+func TestOnlineForecasterValidation(t *testing.T) {
+	if _, err := NewOnlineForecaster(OnlineConfig{P: -1}); err == nil {
+		t.Error("negative order should be rejected")
+	}
+	if _, err := NewOnlineForecaster(OnlineConfig{RefitEvery: -5}); err == nil {
+		t.Error("negative RefitEvery should be rejected")
+	}
+	if _, err := NewOnlineForecaster(OnlineConfig{MaxHistory: -5}); err == nil {
+		t.Error("negative MaxHistory should be rejected")
+	}
+}
+
+func TestOnlineForecasterDefaults(t *testing.T) {
+	f, err := NewOnlineForecaster(OnlineConfig{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.refitEvery != 1000 {
+		t.Errorf("default RefitEvery = %d, want 1000 (paper's N_arima)", f.refitEvery)
+	}
+	if f.maxHistory != 4000 {
+		t.Errorf("default MaxHistory = %d, want 4000", f.maxHistory)
+	}
+}
+
+func TestOnlineForecasterSurvivesConstantInput(t *testing.T) {
+	// Constant input makes every fit singular; the forecaster must keep
+	// falling back to LAST without error.
+	f, err := NewOnlineForecaster(OnlineConfig{P: 2, D: 0, Q: 1, RefitEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		f.Observe(3.14)
+	}
+	if got := f.Predict(); got != 3.14 {
+		t.Errorf("predict = %v, want LAST fallback 3.14", got)
+	}
+	if f.FitErrors() == 0 {
+		t.Error("expected fit errors on constant input")
+	}
+}
+
+func TestOnlineForecasterBoundsHistory(t *testing.T) {
+	f, err := NewOnlineForecaster(OnlineConfig{P: 1, RefitEvery: 100, MaxHistory: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := genARMA(1000, 0, []float64{0.5}, nil, 25)
+	for _, z := range xs {
+		f.Observe(z)
+	}
+	if len(f.buf) > 150 {
+		t.Errorf("history length %d exceeds MaxHistory 150", len(f.buf))
+	}
+}

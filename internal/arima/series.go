@@ -1,0 +1,121 @@
+package arima
+
+import "fmt"
+
+// Difference applies the difference operator ∇ = (1−B) d times:
+// w_t = ∇^d z_t. The result has len(zs) − d elements.
+func Difference(zs []float64, d int) ([]float64, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("arima: negative differencing order %d", d)
+	}
+	if len(zs) <= d {
+		return nil, fmt.Errorf("arima: series of length %d too short to difference %d times", len(zs), d)
+	}
+	cur := make([]float64, len(zs))
+	copy(cur, zs)
+	for k := 0; k < d; k++ {
+		next := make([]float64, len(cur)-1)
+		for i := range next {
+			next[i] = cur[i+1] - cur[i]
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// IntegrateForecast reconstructs a one-step forecast of the original series
+// from a forecast of the d-times differenced series and the last d observed
+// values of the original series (most recent last):
+//
+//	ẑ_{t+1} = ŵ_{t+1} − Σ_{k=1..d} (−1)^k C(d,k) z_{t+1−k}.
+func IntegrateForecast(wHat float64, lastD []float64, d int) (float64, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("arima: negative differencing order %d", d)
+	}
+	if len(lastD) < d {
+		return 0, fmt.Errorf("arima: need %d trailing observations, got %d", d, len(lastD))
+	}
+	z := wHat
+	coef := 1.0
+	for k := 1; k <= d; k++ {
+		coef = coef * float64(d-k+1) / float64(k) // C(d, k)
+		sign := 1.0
+		if k%2 == 0 {
+			sign = -1
+		}
+		z += sign * coef * lastD[len(lastD)-k]
+	}
+	return z, nil
+}
+
+// mean returns the arithmetic mean of xs (0 for empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Autocovariance returns the sample autocovariances γ_0 … γ_maxLag of xs
+// (biased estimator, n denominator, as standard for Yule–Walker).
+func Autocovariance(xs []float64, maxLag int) ([]float64, error) {
+	if maxLag < 0 {
+		return nil, fmt.Errorf("arima: negative lag %d", maxLag)
+	}
+	if len(xs) <= maxLag {
+		return nil, fmt.Errorf("arima: series of length %d too short for lag %d", len(xs), maxLag)
+	}
+	m := mean(xs)
+	out := make([]float64, maxLag+1)
+	n := float64(len(xs))
+	for lag := 0; lag <= maxLag; lag++ {
+		var s float64
+		for t := lag; t < len(xs); t++ {
+			s += (xs[t] - m) * (xs[t-lag] - m)
+		}
+		out[lag] = s / n
+	}
+	return out, nil
+}
+
+// LevinsonDurbin solves the Yule–Walker equations for an AR(p) model from
+// autocovariances γ_0 … γ_p, returning the AR coefficients φ_1 … φ_p and
+// the innovation variance.
+func LevinsonDurbin(gamma []float64, p int) (phi []float64, noiseVar float64, err error) {
+	if p < 0 {
+		return nil, 0, fmt.Errorf("arima: negative AR order %d", p)
+	}
+	if len(gamma) < p+1 {
+		return nil, 0, fmt.Errorf("arima: need %d autocovariances, got %d", p+1, len(gamma))
+	}
+	if gamma[0] <= 0 {
+		return nil, 0, ErrSingular
+	}
+	if p == 0 {
+		return nil, gamma[0], nil
+	}
+	phi = make([]float64, p)
+	prev := make([]float64, p)
+	v := gamma[0]
+	for k := 1; k <= p; k++ {
+		acc := gamma[k]
+		for j := 1; j < k; j++ {
+			acc -= prev[j-1] * gamma[k-j]
+		}
+		if v <= 1e-300 {
+			return nil, 0, ErrSingular
+		}
+		refl := acc / v
+		phi[k-1] = refl
+		for j := 1; j < k; j++ {
+			phi[j-1] = prev[j-1] - refl*prev[k-j-1]
+		}
+		v *= 1 - refl*refl
+		copy(prev, phi[:k])
+	}
+	return phi, v, nil
+}

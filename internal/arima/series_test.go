@@ -1,0 +1,266 @@
+package arima
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wanfd/internal/sim"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDifference(t *testing.T) {
+	zs := []float64{1, 3, 6, 10, 15}
+	w, err := Difference(zs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4, 5}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("d=1: %v, want %v", w, want)
+		}
+	}
+	w2, err := Difference(zs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1, 1, 1} {
+		if w2[i] != v {
+			t.Fatalf("d=2: %v, want all ones", w2)
+		}
+	}
+	w0, err := Difference(zs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w0) != len(zs) {
+		t.Fatal("d=0 should copy the series")
+	}
+	w0[0] = 99
+	if zs[0] != 1 {
+		t.Error("Difference must not alias its input")
+	}
+}
+
+func TestDifferenceErrors(t *testing.T) {
+	if _, err := Difference([]float64{1, 2}, -1); err == nil {
+		t.Error("negative d should be rejected")
+	}
+	if _, err := Difference([]float64{1, 2}, 2); err == nil {
+		t.Error("series too short should be rejected")
+	}
+}
+
+func TestIntegrateForecastInvertsDifference(t *testing.T) {
+	// For any d: computing w_{t+1} from the original series and then
+	// integrating back must reproduce z_{t+1}.
+	zs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	for d := 0; d <= 3; d++ {
+		w, err := Difference(zs, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// last element of w corresponds to z at index len(zs)-1.
+		lastD := zs[len(zs)-1-d : len(zs)-1]
+		got, err := IntegrateForecast(w[len(w)-1], lastD, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, zs[len(zs)-1], 1e-9) {
+			t.Errorf("d=%d: integrate(%v) = %v, want %v", d, w[len(w)-1], got, zs[len(zs)-1])
+		}
+	}
+}
+
+func TestIntegrateForecastErrors(t *testing.T) {
+	if _, err := IntegrateForecast(1, nil, -1); err == nil {
+		t.Error("negative d should be rejected")
+	}
+	if _, err := IntegrateForecast(1, []float64{1}, 2); err == nil {
+		t.Error("insufficient history should be rejected")
+	}
+}
+
+func TestAutocovariance(t *testing.T) {
+	xs := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	g, err := Autocovariance(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g[0], 1, 1e-12) {
+		t.Errorf("gamma0 = %v, want 1", g[0])
+	}
+	if g[1] >= 0 {
+		t.Errorf("gamma1 = %v, want negative for alternating series", g[1])
+	}
+	if g[2] <= 0 {
+		t.Errorf("gamma2 = %v, want positive for alternating series", g[2])
+	}
+}
+
+func TestAutocovarianceErrors(t *testing.T) {
+	if _, err := Autocovariance([]float64{1, 2}, -1); err == nil {
+		t.Error("negative lag should be rejected")
+	}
+	if _, err := Autocovariance([]float64{1, 2}, 2); err == nil {
+		t.Error("lag >= len should be rejected")
+	}
+}
+
+func TestLevinsonDurbinRecoverAR1(t *testing.T) {
+	// Simulate AR(1): x_t = 0.7 x_{t-1} + e_t.
+	rng := sim.NewRNG(5, "ar1")
+	n := 200000
+	xs := make([]float64, n)
+	for t := 1; t < n; t++ {
+		xs[t] = 0.7*xs[t-1] + rng.NormFloat64()
+	}
+	g, err := Autocovariance(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, v, err := LevinsonDurbin(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(phi[0], 0.7, 0.02) {
+		t.Errorf("phi = %v, want ≈0.7", phi[0])
+	}
+	if !almostEqual(v, 1, 0.05) {
+		t.Errorf("innovation variance = %v, want ≈1", v)
+	}
+}
+
+func TestLevinsonDurbinRecoverAR2(t *testing.T) {
+	rng := sim.NewRNG(6, "ar2")
+	n := 200000
+	xs := make([]float64, n)
+	for t := 2; t < n; t++ {
+		xs[t] = 0.5*xs[t-1] - 0.3*xs[t-2] + rng.NormFloat64()
+	}
+	g, err := Autocovariance(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, _, err := LevinsonDurbin(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(phi[0], 0.5, 0.02) || !almostEqual(phi[1], -0.3, 0.02) {
+		t.Errorf("phi = %v, want ≈[0.5 -0.3]", phi)
+	}
+}
+
+func TestLevinsonDurbinEdgeCases(t *testing.T) {
+	if _, _, err := LevinsonDurbin([]float64{1}, -1); err == nil {
+		t.Error("negative order should be rejected")
+	}
+	if _, _, err := LevinsonDurbin([]float64{1}, 3); err == nil {
+		t.Error("too few autocovariances should be rejected")
+	}
+	if _, _, err := LevinsonDurbin([]float64{0, 0}, 1); err == nil {
+		t.Error("zero variance should be rejected")
+	}
+	phi, v, err := LevinsonDurbin([]float64{2, 1}, 0)
+	if err != nil || phi != nil || v != 2 {
+		t.Errorf("order 0: phi=%v v=%v err=%v, want nil, 2, nil", phi, v, err)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := solve(a, b); err == nil {
+		t.Error("singular system should be rejected")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-9) || !almostEqual(x[1], 2, 1e-9) {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	if _, err := solve(nil, nil); err == nil {
+		t.Error("empty system should be rejected")
+	}
+	if _, err := solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched rhs should be rejected")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2 + 3x fit exactly.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{2, 5, 8, 11}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(beta[0], 2, 1e-6) || !almostEqual(beta[1], 3, 1e-6) {
+		t.Errorf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := leastSquares(nil, nil); err == nil {
+		t.Error("empty design should be rejected")
+	}
+	if _, err := leastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined design should be rejected")
+	}
+	if _, err := leastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("zero predictors should be rejected")
+	}
+	if _, err := leastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged design should be rejected")
+	}
+}
+
+// Property: Difference then IntegrateForecast round-trips the final point
+// of any series long enough.
+func TestDifferenceIntegrateRoundTripProperty(t *testing.T) {
+	f := func(raw []int8, dRaw uint8) bool {
+		d := int(dRaw % 4)
+		if len(raw) < d+2 {
+			return true
+		}
+		zs := make([]float64, len(raw))
+		for i, v := range raw {
+			zs[i] = float64(v)
+		}
+		w, err := Difference(zs, d)
+		if err != nil {
+			return false
+		}
+		got, err := IntegrateForecast(w[len(w)-1], zs[len(zs)-1-d:len(zs)-1], d)
+		if err != nil {
+			return false
+		}
+		return almostEqual(got, zs[len(zs)-1], 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package cli holds the small helpers shared by the command-line tools:
+// preset name parsing and delay-trace loading.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wanfd/internal/trace"
+	"wanfd/internal/wan"
+)
+
+// PresetNames lists the accepted channel preset names.
+var PresetNames = []string{"italy-japan", "lan", "lossy-mobile", "bottleneck"}
+
+// ParsePreset maps a CLI preset name to the channel preset.
+func ParsePreset(s string) (wan.Preset, error) {
+	switch s {
+	case "italy-japan":
+		return wan.PresetItalyJapan, nil
+	case "lan":
+		return wan.PresetLAN, nil
+	case "lossy-mobile":
+		return wan.PresetLossyMobile, nil
+	case "bottleneck":
+		return wan.PresetBottleneck, nil
+	default:
+		return 0, fmt.Errorf("unknown preset %q (want one of %v)", s, PresetNames)
+	}
+}
+
+// LoadTrace reads a delay trace file — text format for a .txt extension,
+// the binary format otherwise. An empty path returns nil with no error.
+func LoadTrace(path string) ([]time.Duration, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if filepath.Ext(path) == ".txt" {
+		return trace.ReadText(f)
+	}
+	return trace.ReadBinary(f)
+}
+
+// SaveTrace writes a delay trace file — text format for a .txt extension,
+// the binary format otherwise.
+func SaveTrace(path string, delays []time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".txt" {
+		err = trace.WriteText(f, delays)
+	} else {
+		err = trace.WriteBinary(f, delays)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wanfd/internal/wan"
+)
+
+func TestParsePreset(t *testing.T) {
+	for name, want := range map[string]wan.Preset{
+		"italy-japan":  wan.PresetItalyJapan,
+		"lan":          wan.PresetLAN,
+		"lossy-mobile": wan.PresetLossyMobile,
+		"bottleneck":   wan.PresetBottleneck,
+	} {
+		got, err := ParsePreset(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParsePreset("nope"); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	// Every advertised name parses.
+	for _, name := range PresetNames {
+		if _, err := ParsePreset(name); err != nil {
+			t.Errorf("advertised name %q does not parse: %v", name, err)
+		}
+	}
+}
+
+func TestLoadTraceEmpty(t *testing.T) {
+	ds, err := LoadTrace("")
+	if err != nil || ds != nil {
+		t.Errorf("empty path: %v, %v", ds, err)
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing.trc")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSaveLoadTraceRoundTrip(t *testing.T) {
+	delays := []time.Duration{
+		192 * time.Millisecond,
+		340 * time.Millisecond,
+		206 * time.Millisecond,
+	}
+	for _, name := range []string{"t.trc", "t.txt"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveTrace(path, delays); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadTrace(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(delays) {
+			t.Fatalf("%s: len %d, want %d", name, len(got), len(delays))
+		}
+		for i := range delays {
+			diff := got[i] - delays[i]
+			if diff < -time.Microsecond || diff > time.Microsecond {
+				t.Errorf("%s: delay %d = %v, want %v", name, i, got[i], delays[i])
+			}
+		}
+	}
+}
+
+func TestSaveTraceBadPath(t *testing.T) {
+	if err := SaveTrace(filepath.Join(t.TempDir(), "no", "such", "dir", "x.trc"), nil); err == nil {
+		t.Error("unwritable path should fail")
+	}
+	_ = os.Remove("")
+}

@@ -1,0 +1,99 @@
+// Package clock models imperfect local clocks (offset and drift) and
+// implements an NTP-style offset estimator. The paper *assumes*
+// synchronized clocks (offset 0, drift 0), discharging the assumption with
+// NTP against two stratum servers; this package both simulates the
+// imperfection the assumption removes and implements the mechanism that
+// removes it, so the real-network harness can state its residual clock
+// error instead of assuming it away.
+package clock
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Drifting maps a reference (true) time to a local clock reading
+//
+//	local(t) = t·(1 + Drift) + Offset.
+//
+// Drift is dimensionless (e.g. 50e-6 for 50 ppm); Offset is the value of
+// the local clock at reference time 0.
+type Drifting struct {
+	// Offset is the local reading at reference time zero.
+	Offset time.Duration
+	// Drift is the relative rate error.
+	Drift float64
+}
+
+// Read returns the local clock's reading at reference time t.
+func (c Drifting) Read(t time.Duration) time.Duration {
+	return time.Duration(float64(t)*(1+c.Drift)) + c.Offset
+}
+
+// Invert returns the reference time at which the local clock reads l
+// (the inverse of Read).
+func (c Drifting) Invert(l time.Duration) time.Duration {
+	return time.Duration(float64(l-c.Offset) / (1 + c.Drift))
+}
+
+// Sample is one NTP-style request/response exchange between a client and a
+// server, carrying the four classic timestamps: T1 (client send, client
+// clock), T2 (server receive, server clock), T3 (server send, server
+// clock), T4 (client receive, client clock).
+type Sample struct {
+	T1, T2, T3, T4 time.Duration
+}
+
+// Offset returns the estimated offset of the server clock relative to the
+// client clock, θ = ((T2−T1) + (T3−T4)) / 2. The estimate is exact when
+// the two path delays are symmetric.
+func (s Sample) Offset() time.Duration {
+	return ((s.T2 - s.T1) + (s.T3 - s.T4)) / 2
+}
+
+// Delay returns the round-trip delay δ = (T4−T1) − (T3−T2).
+func (s Sample) Delay() time.Duration {
+	return (s.T4 - s.T1) - (s.T3 - s.T2)
+}
+
+// EstimateOffset combines several exchanges into one offset estimate using
+// NTP's minimum-delay filter: samples are sorted by round-trip delay and
+// the offsets of the lowest-delay half are averaged (low-delay exchanges
+// suffer the least queueing asymmetry).
+func EstimateOffset(samples []Sample) (time.Duration, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("clock: no samples")
+	}
+	sorted := make([]Sample, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Delay() < sorted[j].Delay() })
+	keep := (len(sorted) + 1) / 2
+	var sum time.Duration
+	for _, s := range sorted[:keep] {
+		sum += s.Offset()
+	}
+	return sum / time.Duration(keep), nil
+}
+
+// SyncedClock converts readings of a remote clock into the local time base
+// given an estimated offset: localTime = remoteReading − offset. It is the
+// piece the real-network monitor uses to timestamp heartbeats sent by a
+// host whose clock differs from its own.
+type SyncedClock struct {
+	offset time.Duration
+}
+
+// NewSyncedClock builds a converter from an offset estimate (remote −
+// local, as produced by EstimateOffset on client-side samples).
+func NewSyncedClock(offset time.Duration) *SyncedClock {
+	return &SyncedClock{offset: offset}
+}
+
+// ToLocal converts a remote clock reading to local time.
+func (s *SyncedClock) ToLocal(remote time.Duration) time.Duration {
+	return remote - s.offset
+}
+
+// Offset returns the configured offset.
+func (s *SyncedClock) Offset() time.Duration { return s.offset }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Accrual is a φ-accrual suspicion-level exporter — the modern descendant
+// (Hayashibara et al., used by Cassandra and Akka) of the timeout detectors
+// the paper studies, provided as the "future work" extension named in
+// DESIGN.md. Instead of a boolean output it reports a continuous suspicion
+// level
+//
+//	φ(t) = −log10 P(next heartbeat inter-arrival > t − t_last)
+//
+// under a normal approximation of the windowed inter-arrival distribution.
+// Applications choose their own φ threshold, trading speed against
+// accuracy without re-tuning the detector.
+type Accrual struct {
+	win      []float64 // inter-arrival times, ms
+	next     int
+	n        int
+	lastMs   float64
+	haveLast bool
+	minStdMs float64
+}
+
+// NewAccrual builds a φ-accrual estimator over a window of the last n
+// inter-arrival times. minStd (milliseconds) floors the estimated standard
+// deviation so that a perfectly regular stream does not produce infinite φ
+// the instant a heartbeat is one tick late; 0 means a 10 ms floor.
+func NewAccrual(n int, minStd float64) (*Accrual, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: accrual window must be at least 2, got %d", n)
+	}
+	if minStd < 0 {
+		return nil, fmt.Errorf("core: accrual minStd must be non-negative, got %v", minStd)
+	}
+	if minStd == 0 {
+		minStd = 10
+	}
+	return &Accrual{win: make([]float64, n), minStdMs: minStd}, nil
+}
+
+// Heartbeat records a heartbeat arrival at time at.
+func (a *Accrual) Heartbeat(at time.Duration) {
+	ms := durToMs(at)
+	if a.haveLast {
+		inter := ms - a.lastMs
+		if inter >= 0 {
+			if a.n == len(a.win) {
+				a.win[a.next] = inter
+			} else {
+				a.win[a.next] = inter
+				a.n++
+			}
+			a.next = (a.next + 1) % len(a.win)
+		}
+	}
+	a.lastMs, a.haveLast = ms, true
+}
+
+// interArrivalStats returns the mean and standard deviation (both ms,
+// std floored at the configured minimum) of the windowed inter-arrivals;
+// ok is false before any interval was recorded.
+func (a *Accrual) interArrivalStats() (mean, std float64, ok bool) {
+	if a.n == 0 {
+		return 0, 0, false
+	}
+	var sum float64
+	for i := 0; i < a.n; i++ {
+		sum += a.win[i]
+	}
+	mean = sum / float64(a.n)
+	var ss float64
+	for i := 0; i < a.n; i++ {
+		d := a.win[i] - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(a.n))
+	if std < a.minStdMs {
+		std = a.minStdMs
+	}
+	return mean, std, true
+}
+
+// Phi returns the suspicion level at time now. It returns 0 before two
+// heartbeats have been observed.
+func (a *Accrual) Phi(now time.Duration) float64 {
+	if !a.haveLast {
+		return 0
+	}
+	elapsed := durToMs(now) - a.lastMs
+	if elapsed <= 0 {
+		return 0
+	}
+	mean, std, ok := a.interArrivalStats()
+	if !ok {
+		return 0
+	}
+	p := 1 - normalCDF((elapsed-mean)/std)
+	if p < 1e-300 {
+		p = 1e-300
+	}
+	return -math.Log10(p)
+}
+
+// Suspected reports whether φ(now) exceeds the given threshold (Cassandra's
+// default is 8, Akka's is 8–12).
+func (a *Accrual) Suspected(now time.Duration, threshold float64) bool {
+	return a.Phi(now) > threshold
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

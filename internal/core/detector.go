@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wanfd/internal/sim"
+)
+
+// SuspicionListener receives the detector's output transitions. Callbacks
+// are invoked with the detector's name and the clock time of the
+// transition, while the detector's lock is held — listeners must not call
+// back into the detector.
+type SuspicionListener interface {
+	// OnSuspect is called when the detector starts suspecting the
+	// monitored process.
+	OnSuspect(detector string, at time.Duration)
+	// OnTrust is called when the detector stops suspecting.
+	OnTrust(detector string, at time.Duration)
+}
+
+// DetectorConfig assembles a Detector.
+type DetectorConfig struct {
+	// Name identifies the detector in events and reports
+	// (e.g. "ARIMA+CI_low").
+	Name string
+	// Predictor forecasts heartbeat delays.
+	Predictor Predictor
+	// Margin is the safety margin added to the forecast.
+	Margin SafetyMargin
+	// Eta is the heartbeat sending period η.
+	Eta time.Duration
+	// Clock supplies time and timers (virtual or real).
+	Clock sim.Clock
+	// Listener receives suspicion transitions; may be nil.
+	Listener SuspicionListener
+	// MinTimeout, when positive, floors the adaptive timeout δ. The
+	// paper's detectors have no floor (and the experiments use none);
+	// real deployments want one to ride out the bootstrap phase, when
+	// one observation makes the margins near zero while sender timer
+	// jitter is not yet learned.
+	MinTimeout time.Duration
+}
+
+// Detector is the paper's modular push-style failure detector (§2.3): it
+// consumes the heartbeat stream of one monitored process and maintains a
+// freshness point
+//
+//	τ_{k+1} = σ_k + η + pred_{k+1} + sm_{k+1}
+//
+// (σ_k the send time of the freshest heartbeat received). The monitored
+// process is suspected whenever the clock passes the freshness point before
+// a fresher heartbeat arrives; a fresher heartbeat that restores a future
+// freshness point ends the suspicion.
+//
+// A Detector is safe for concurrent use (heartbeats may arrive from a
+// network goroutine while timers fire on another).
+type Detector struct {
+	name       string
+	pred       Predictor
+	margin     SafetyMargin
+	eta        time.Duration
+	minTimeout float64 // ms
+	clock      sim.Clock
+	listener   SuspicionListener
+
+	mu        sync.Mutex
+	hi        int64 // highest sequence received; -1 before the first
+	deadline  time.Duration
+	timer     sim.Timer
+	suspected bool
+
+	heartbeats uint64
+	stale      uint64
+	suspicions uint64
+}
+
+// timerSlack delays the freshness-expiry check by one instant past τ, so a
+// heartbeat arriving exactly at the freshness point counts as fresh (§2.3:
+// p suspects if no fresh message was received *by* τ).
+const timerSlack = time.Nanosecond
+
+// NewDetector validates cfg and builds a detector. Before the first
+// heartbeat the detector does not suspect (it has no information yet — the
+// paper's runs likewise begin measuring after the stream is established).
+func NewDetector(cfg DetectorConfig) (*Detector, error) {
+	if cfg.Predictor == nil || cfg.Margin == nil {
+		return nil, fmt.Errorf("core: detector %q needs a predictor and a margin", cfg.Name)
+	}
+	if cfg.Eta <= 0 {
+		return nil, fmt.Errorf("core: detector %q needs a positive eta, got %v", cfg.Name, cfg.Eta)
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("core: detector %q needs a clock", cfg.Name)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = cfg.Predictor.Name() + "+" + cfg.Margin.Name()
+	}
+	if cfg.MinTimeout < 0 {
+		return nil, fmt.Errorf("core: detector %q needs a non-negative MinTimeout, got %v", name, cfg.MinTimeout)
+	}
+	return &Detector{
+		name:       name,
+		pred:       cfg.Predictor,
+		margin:     cfg.Margin,
+		eta:        cfg.Eta,
+		minTimeout: durToMs(cfg.MinTimeout),
+		clock:      cfg.Clock,
+		listener:   cfg.Listener,
+		hi:         -1,
+	}, nil
+}
+
+// Name returns the detector's identifier.
+func (d *Detector) Name() string { return d.name }
+
+// OnHeartbeat processes heartbeat number seq, sent at sendTime and received
+// now (both on the shared synchronized time base, per the paper's NTP
+// assumption). Every received heartbeat — including stale, reordered or
+// duplicate ones — contributes a delay observation; only heartbeats fresher
+// than any seen so far advance the freshness point.
+func (d *Detector) OnHeartbeat(seq int64, sendTime, now time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	d.heartbeats++
+	obsMs := durToMs(now - sendTime)
+	predMs := d.pred.Predict() // the prediction that was in effect
+	d.pred.Observe(obsMs)
+	d.margin.Observe(obsMs, predMs)
+
+	if seq <= d.hi {
+		d.stale++
+		return
+	}
+	d.hi = seq
+
+	timeoutMs := d.pred.Predict() + d.margin.Margin()
+	if timeoutMs < d.minTimeout {
+		timeoutMs = d.minTimeout
+	}
+	if timeoutMs < 0 {
+		timeoutMs = 0
+	}
+	deadline := sendTime + d.eta + msToDur(timeoutMs)
+	d.deadline = deadline
+	if d.timer != nil {
+		d.timer.Stop()
+	}
+	if deadline > now {
+		if d.suspected {
+			d.suspected = false
+			if d.listener != nil {
+				d.listener.OnTrust(d.name, now)
+			}
+		}
+		// The paper's freshness semantics count a heartbeat arriving
+		// exactly at τ as fresh (received "by" the freshness point), so
+		// the expiry check runs an instant after τ — otherwise, in the
+		// simulator's FIFO event order, a deadline tied with an arrival
+		// would suspect first.
+		d.timer = d.clock.AfterFunc(deadline-now+timerSlack, d.expire)
+		return
+	}
+	// Even the next expected heartbeat is already overdue: suspicion
+	// stands (or starts) without an intervening trust.
+	if !d.suspected {
+		d.suspected = true
+		d.suspicions++
+		if d.listener != nil {
+			d.listener.OnSuspect(d.name, now)
+		}
+	}
+}
+
+// expire fires when the freshness point passes without a fresher heartbeat.
+func (d *Detector) expire() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock.Now()
+	if now < d.deadline || d.suspected {
+		// A fresher heartbeat moved the deadline between the timer firing
+		// and acquiring the lock (real-time race), or we already suspect.
+		return
+	}
+	d.suspected = true
+	d.suspicions++
+	if d.listener != nil {
+		d.listener.OnSuspect(d.name, now)
+	}
+}
+
+// Suspected reports the detector's current output: true if the monitored
+// process is suspected.
+func (d *Detector) Suspected() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspected
+}
+
+// CurrentTimeout returns the timeout δ = pred + sm (in milliseconds) that
+// would govern the next freshness point.
+func (d *Detector) CurrentTimeout() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.pred.Predict() + d.margin.Margin()
+	if t < d.minTimeout {
+		t = d.minTimeout
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// SetEta updates the heartbeat period the freshness points assume — used
+// by the adaptable-sending-period extension when the monitored process is
+// commanded to a new interval. It affects freshness points computed from
+// subsequent heartbeats.
+func (d *Detector) SetEta(eta time.Duration) error {
+	if eta <= 0 {
+		return fmt.Errorf("core: detector %q needs a positive eta, got %v", d.name, eta)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.eta = eta
+	return nil
+}
+
+// Eta returns the heartbeat period the detector currently assumes.
+func (d *Detector) Eta() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.eta
+}
+
+// Stop cancels any pending timer. The detector may be discarded afterwards.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+}
+
+// Stats reports the number of heartbeats processed, how many were stale
+// (reordered/duplicate), and how many suspicion episodes started.
+func (d *Detector) Stats() (heartbeats, stale, suspicions uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.heartbeats, d.stale, d.suspicions
+}
+
+func durToMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func msToDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wanfd/internal/stats"
+)
+
+// SafetyMargin computes the slack added to the predictor's forecast to
+// limit premature timeouts (false suspicions). Observe is called once per
+// received heartbeat with the observed delay and the prediction that was in
+// effect for it; Margin returns the margin to use for the next cycle. All
+// values are in milliseconds.
+//
+// Implementations are not safe for concurrent use; the Detector serializes
+// access.
+type SafetyMargin interface {
+	// Name identifies the margin in reports ("CI_low", "JAC_high", ...).
+	Name() string
+	// Observe records one (observed delay, in-effect prediction) pair.
+	Observe(obsMs, predMs float64)
+	// Margin returns the margin for the next cycle, in milliseconds.
+	Margin() float64
+}
+
+// ConstantMargin is a fixed safety margin — the choice of Chen et al.'s
+// NFD-E, where the constant is derived from QoS requirements and a
+// probabilistic characterization of the network.
+type ConstantMargin struct {
+	name string
+	ms   float64
+}
+
+// NewConstantMargin returns a constant margin of ms milliseconds. ms must
+// be non-negative.
+func NewConstantMargin(name string, ms float64) (*ConstantMargin, error) {
+	if ms < 0 {
+		return nil, fmt.Errorf("core: constant margin must be non-negative, got %v", ms)
+	}
+	if name == "" {
+		name = "CONST"
+	}
+	return &ConstantMargin{name: name, ms: ms}, nil
+}
+
+var _ SafetyMargin = (*ConstantMargin)(nil)
+
+// Name returns the configured name.
+func (m *ConstantMargin) Name() string { return m.name }
+
+// Observe is a no-op: the margin does not adapt.
+func (*ConstantMargin) Observe(float64, float64) {}
+
+// Margin returns the constant.
+func (m *ConstantMargin) Margin() float64 { return m.ms }
+
+// SMCI is the paper's confidence-interval margin
+//
+//	sm_{k+1} = γ · σ̂ · sqrt(1 + 1/n + (obs_n − ō)² / Σ_j (obs_j − ō)²),
+//
+// the half-width of a prediction interval around the delay process. It
+// depends only on the network behaviour, never on the predictor — the
+// property the paper leans on when explaining which margin suits which
+// predictor. γ plays the role of the Student quantile: the paper uses
+// 1 (low), 2 (med) and 3.31 (high).
+type SMCI struct {
+	name  string
+	gamma float64
+	r     stats.Running
+	last  float64 // most recent observation
+}
+
+// NewSMCI returns an SM_CI margin with the given γ > 0.
+func NewSMCI(name string, gamma float64) (*SMCI, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("core: SM_CI gamma must be positive, got %v", gamma)
+	}
+	if name == "" {
+		name = "CI"
+	}
+	return &SMCI{name: name, gamma: gamma}, nil
+}
+
+var _ SafetyMargin = (*SMCI)(nil)
+
+// Name returns the configured name.
+func (m *SMCI) Name() string { return m.name }
+
+// Observe records one delay (the prediction is ignored by construction).
+func (m *SMCI) Observe(obsMs, _ float64) {
+	m.r.Add(obsMs)
+	m.last = obsMs
+}
+
+// Margin evaluates the prediction-interval half-width.
+func (m *SMCI) Margin() float64 {
+	n := m.r.N()
+	if n < 2 {
+		return 0
+	}
+	term := 1 + 1/float64(n)
+	if ss := m.r.SumSqDev(); ss > 0 {
+		d := m.last - m.r.Mean()
+		term += d * d / ss
+	}
+	return m.gamma * m.r.StdDev() * math.Sqrt(term)
+}
+
+// SMJAC is the paper's Jacobson-style margin: an exponentially smoothed
+// mean absolute prediction error, scaled by φ,
+//
+//	v_{k+1} = v_k + α · (|obs_n − pred_k| − v_k),   sm_{k+1} = φ · v_{k+1},
+//
+// with α = 1/4 as advised by Jacobson's congestion-avoidance paper. Unlike
+// SM_CI it is driven by the predictor's error, so an accurate predictor
+// shrinks it toward zero — the mechanism behind the paper's headline
+// finding that good predictors paired with SM_JAC lose accuracy.
+//
+// Note on the recursion: the paper writes sm_{k+1} = φ(sm_k + α(|err|−sm_k))
+// with sm_k appearing inside the smoothing. Taken literally with the
+// φ-scaled output fed back, the recursion diverges for φ(1−α) > 1 (φ = 4,
+// α = 1/4 gives factor 3), so — as in Jacobson's and Bertier's original
+// formulations — the smoothed deviation v is kept unscaled internally and φ
+// multiplies only the output.
+type SMJAC struct {
+	name  string
+	phi   float64
+	alpha float64
+	v     float64
+}
+
+// NewSMJAC returns an SM_JAC margin with scale φ > 0 and gain α ∈ (0, 1].
+func NewSMJAC(name string, phi, alpha float64) (*SMJAC, error) {
+	if phi <= 0 {
+		return nil, fmt.Errorf("core: SM_JAC phi must be positive, got %v", phi)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: SM_JAC alpha %v out of (0,1]", alpha)
+	}
+	if name == "" {
+		name = "JAC"
+	}
+	return &SMJAC{name: name, phi: phi, alpha: alpha}, nil
+}
+
+var _ SafetyMargin = (*SMJAC)(nil)
+
+// Name returns the configured name.
+func (m *SMJAC) Name() string { return m.name }
+
+// Observe smooths the absolute prediction error into the deviation state.
+func (m *SMJAC) Observe(obsMs, predMs float64) {
+	err := math.Abs(obsMs - predMs)
+	m.v += m.alpha * (err - m.v)
+}
+
+// Margin returns φ times the smoothed deviation.
+func (m *SMJAC) Margin() float64 { return m.phi * m.v }

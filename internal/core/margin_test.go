@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wanfd/internal/sim"
+)
+
+func TestConstantMargin(t *testing.T) {
+	m, err := NewConstantMargin("", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "CONST" {
+		t.Errorf("default name = %q", m.Name())
+	}
+	m.Observe(1000, 0) // must not adapt
+	if m.Margin() != 50 {
+		t.Errorf("margin = %v, want 50", m.Margin())
+	}
+	if _, err := NewConstantMargin("x", -1); err == nil {
+		t.Error("negative constant should be rejected")
+	}
+}
+
+func TestSMCIValidation(t *testing.T) {
+	if _, err := NewSMCI("x", 0); err == nil {
+		t.Error("gamma 0 should be rejected")
+	}
+	if _, err := NewSMCI("x", -2); err == nil {
+		t.Error("negative gamma should be rejected")
+	}
+}
+
+func TestSMCIZeroBeforeTwoObservations(t *testing.T) {
+	m, err := NewSMCI("CI", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Margin() != 0 {
+		t.Errorf("margin with no data = %v, want 0", m.Margin())
+	}
+	m.Observe(200, 0)
+	if m.Margin() != 0 {
+		t.Errorf("margin with one observation = %v, want 0", m.Margin())
+	}
+}
+
+func TestSMCIFormula(t *testing.T) {
+	m, err := NewSMCI("CI", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []float64{10, 14, 12, 16}
+	for _, o := range obs {
+		m.Observe(o, 999) // prediction must be ignored
+	}
+	// mean=13, ss=Σ(o-13)² = 9+1+1+9=20, σ̂=sqrt(20/3), last=16
+	sigma := math.Sqrt(20.0 / 3.0)
+	want := 2 * sigma * math.Sqrt(1+0.25+(16-13)*(16-13)/20.0)
+	if !almostEqual(m.Margin(), want, 1e-9) {
+		t.Errorf("margin = %v, want %v", m.Margin(), want)
+	}
+}
+
+func TestSMCIIndependentOfPredictor(t *testing.T) {
+	a, _ := NewSMCI("a", 1)
+	b, _ := NewSMCI("b", 1)
+	rng := sim.NewRNG(41, "ci")
+	for i := 0; i < 100; i++ {
+		o := 200 + rng.NormFloat64()*5
+		a.Observe(o, 0)
+		b.Observe(o, 1e9) // wildly different predictions
+	}
+	if a.Margin() != b.Margin() {
+		t.Errorf("SM_CI must not depend on the predictor: %v vs %v", a.Margin(), b.Margin())
+	}
+}
+
+func TestSMCIConstantSeriesGivesZeroMargin(t *testing.T) {
+	m, _ := NewSMCI("CI", 3.31)
+	for i := 0; i < 10; i++ {
+		m.Observe(200, 0)
+	}
+	if m.Margin() != 0 {
+		t.Errorf("zero-variance series margin = %v, want 0", m.Margin())
+	}
+}
+
+func TestSMCIScalesWithGamma(t *testing.T) {
+	low, _ := NewSMCI("low", GammaLow)
+	high, _ := NewSMCI("high", GammaHigh)
+	rng := sim.NewRNG(42, "gamma-scale")
+	for i := 0; i < 50; i++ {
+		o := 200 + rng.NormFloat64()*7
+		low.Observe(o, 0)
+		high.Observe(o, 0)
+	}
+	if !almostEqual(high.Margin(), 3.31*low.Margin(), 1e-9) {
+		t.Errorf("margins %v and %v not in ratio γ_high/γ_low", low.Margin(), high.Margin())
+	}
+}
+
+func TestSMJACValidation(t *testing.T) {
+	if _, err := NewSMJAC("x", 0, 0.25); err == nil {
+		t.Error("phi 0 should be rejected")
+	}
+	if _, err := NewSMJAC("x", 1, 0); err == nil {
+		t.Error("alpha 0 should be rejected")
+	}
+	if _, err := NewSMJAC("x", 1, 1.5); err == nil {
+		t.Error("alpha > 1 should be rejected")
+	}
+}
+
+func TestSMJACRecursion(t *testing.T) {
+	m, err := NewSMJAC("JAC", 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Margin() != 0 {
+		t.Errorf("initial margin = %v, want 0", m.Margin())
+	}
+	m.Observe(110, 100) // |err| = 10, v = 0 + 0.25*(10-0) = 2.5
+	if !almostEqual(m.Margin(), 2*2.5, 1e-12) {
+		t.Errorf("margin = %v, want 5", m.Margin())
+	}
+	m.Observe(90, 100) // |err| = 10, v = 2.5 + 0.25*7.5 = 4.375
+	if !almostEqual(m.Margin(), 2*4.375, 1e-12) {
+		t.Errorf("margin = %v, want 8.75", m.Margin())
+	}
+}
+
+func TestSMJACConvergesToPhiTimesError(t *testing.T) {
+	m, _ := NewSMJAC("JAC", PhiHigh, JacobsonAlpha)
+	for i := 0; i < 200; i++ {
+		m.Observe(105, 100) // constant |err| = 5
+	}
+	if !almostEqual(m.Margin(), 4*5, 1e-6) {
+		t.Errorf("margin = %v, want φ·|err| = 20", m.Margin())
+	}
+}
+
+func TestSMJACStableAtPhiHigh(t *testing.T) {
+	// With φ = 4 the literal paper recursion diverges; ours must converge.
+	m, _ := NewSMJAC("JAC", PhiHigh, JacobsonAlpha)
+	rng := sim.NewRNG(43, "jac")
+	for i := 0; i < 10000; i++ {
+		m.Observe(200+rng.NormFloat64()*5, 200)
+	}
+	if m.Margin() > 1000 || math.IsNaN(m.Margin()) || math.IsInf(m.Margin(), 0) {
+		t.Errorf("margin diverged: %v", m.Margin())
+	}
+}
+
+func TestSMJACShrinksWithAccuratePredictor(t *testing.T) {
+	// The paper's key mechanism: an accurate predictor shrinks SM_JAC,
+	// giving fast detection but poor accuracy.
+	accurate, _ := NewSMJAC("a", PhiMed, JacobsonAlpha)
+	sloppy, _ := NewSMJAC("s", PhiMed, JacobsonAlpha)
+	rng := sim.NewRNG(44, "jac2")
+	for i := 0; i < 500; i++ {
+		o := 200 + rng.NormFloat64()*5
+		accurate.Observe(o, o-0.1) // near-perfect prediction
+		sloppy.Observe(o, 150)     // biased prediction
+	}
+	if !(accurate.Margin() < sloppy.Margin()/10) {
+		t.Errorf("accurate-margin %v not ≪ sloppy-margin %v", accurate.Margin(), sloppy.Margin())
+	}
+}
+
+func TestMarginDefaultNames(t *testing.T) {
+	ci, _ := NewSMCI("", 1)
+	if ci.Name() != "CI" {
+		t.Errorf("SMCI default name = %q", ci.Name())
+	}
+	jac, _ := NewSMJAC("", 1, 0.25)
+	if jac.Name() != "JAC" {
+		t.Errorf("SMJAC default name = %q", jac.Name())
+	}
+}

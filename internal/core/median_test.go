@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wanfd/internal/sim"
+)
+
+func TestMedianValidation(t *testing.T) {
+	if _, err := NewMedian(0); err == nil {
+		t.Error("window 0 should be rejected")
+	}
+}
+
+func TestMedianBasics(t *testing.T) {
+	p, err := NewMedian(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "MEDIAN" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if p.Predict() != 0 {
+		t.Errorf("empty prediction = %v, want 0", p.Predict())
+	}
+	p.Observe(10)
+	if p.Predict() != 10 {
+		t.Errorf("single observation median = %v, want 10", p.Predict())
+	}
+	p.Observe(20)
+	if p.Predict() != 15 {
+		t.Errorf("even-count median = %v, want 15", p.Predict())
+	}
+	p.Observe(30)
+	if p.Predict() != 20 {
+		t.Errorf("median = %v, want 20", p.Predict())
+	}
+}
+
+func TestMedianWindowEviction(t *testing.T) {
+	p, err := NewMedian(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 2, 3, 100, 100} {
+		p.Observe(v)
+	}
+	// Window holds {3, 100, 100}: median 100.
+	if p.Predict() != 100 {
+		t.Errorf("median = %v, want 100", p.Predict())
+	}
+}
+
+func TestMedianRobustToSpikes(t *testing.T) {
+	med, err := NewMedian(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := NewWinMean(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		med.Observe(200)
+		win.Observe(200)
+	}
+	med.Observe(340) // one spike
+	win.Observe(340)
+	if med.Predict() != 200 {
+		t.Errorf("median moved by a single spike: %v", med.Predict())
+	}
+	if win.Predict() <= 200 {
+		t.Errorf("winmean should move: %v", win.Predict())
+	}
+}
+
+// Property: MEDIAN equals the true median of the last min(n, N)
+// observations.
+func TestMedianMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []uint8, winRaw uint8) bool {
+		n := int(winRaw%7) + 1
+		p, err := NewMedian(n)
+		if err != nil {
+			return false
+		}
+		var hist []float64
+		for _, v := range raw {
+			x := float64(v)
+			p.Observe(x)
+			hist = append(hist, x)
+			lo := 0
+			if len(hist) > n {
+				lo = len(hist) - n
+			}
+			window := append([]float64(nil), hist[lo:]...)
+			sort.Float64s(window)
+			var want float64
+			mid := len(window) / 2
+			if len(window)%2 == 1 {
+				want = window[mid]
+			} else {
+				want = (window[mid-1] + window[mid]) / 2
+			}
+			if p.Predict() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianViaRegistry(t *testing.T) {
+	p, err := NewPredictorByName("MEDIAN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "MEDIAN" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if len(ExtendedPredictorNames) == 0 || ExtendedPredictorNames[0] != "MEDIAN" {
+		t.Errorf("extended names = %v", ExtendedPredictorNames)
+	}
+}
+
+func TestMedianInDetector(t *testing.T) {
+	eng := sim.NewEngine()
+	pred, err := NewMedian(MedianN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margin, err := NewMarginByName("JAC_med")
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DetectorConfig{
+		Predictor: pred, Margin: margin, Eta: 1e9, Clock: eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Name() != "MEDIAN+JAC_med" {
+		t.Errorf("name = %q", det.Name())
+	}
+}

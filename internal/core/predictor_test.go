@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wanfd/internal/sim"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestLastPredictor(t *testing.T) {
+	p := NewLast()
+	if p.Name() != "LAST" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if p.Predict() != 0 {
+		t.Errorf("initial prediction = %v, want 0", p.Predict())
+	}
+	p.Observe(10)
+	p.Observe(25)
+	if p.Predict() != 25 {
+		t.Errorf("prediction = %v, want 25", p.Predict())
+	}
+}
+
+func TestMeanPredictor(t *testing.T) {
+	p := NewMean()
+	if p.Name() != "MEAN" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if p.Predict() != 0 {
+		t.Errorf("initial prediction = %v, want 0", p.Predict())
+	}
+	for _, x := range []float64{10, 20, 30} {
+		p.Observe(x)
+	}
+	if !almostEqual(p.Predict(), 20, 1e-12) {
+		t.Errorf("prediction = %v, want 20", p.Predict())
+	}
+}
+
+func TestWinMeanPredictor(t *testing.T) {
+	p, err := NewWinMean(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "WINMEAN" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if p.Predict() != 0 {
+		t.Errorf("initial prediction = %v, want 0", p.Predict())
+	}
+	// Fewer than N observations: WINMEAN(N) = MEAN, per the paper.
+	p.Observe(10)
+	p.Observe(20)
+	if !almostEqual(p.Predict(), 15, 1e-12) {
+		t.Errorf("prediction = %v, want 15 (mean of partial window)", p.Predict())
+	}
+	p.Observe(30)
+	p.Observe(100) // evicts 10
+	if !almostEqual(p.Predict(), 50, 1e-12) {
+		t.Errorf("prediction = %v, want mean(20,30,100)=50", p.Predict())
+	}
+}
+
+func TestWinMeanValidation(t *testing.T) {
+	if _, err := NewWinMean(0); err == nil {
+		t.Error("window 0 should be rejected")
+	}
+}
+
+// Property: WINMEAN always equals the mean of the last min(n, N)
+// observations.
+func TestWinMeanMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []uint8, winRaw uint8) bool {
+		n := int(winRaw%9) + 1
+		p, err := NewWinMean(n)
+		if err != nil {
+			return false
+		}
+		var hist []float64
+		for _, v := range raw {
+			x := float64(v)
+			p.Observe(x)
+			hist = append(hist, x)
+			lo := 0
+			if len(hist) > n {
+				lo = len(hist) - n
+			}
+			var sum float64
+			for _, h := range hist[lo:] {
+				sum += h
+			}
+			want := sum / float64(len(hist)-lo)
+			if !almostEqual(p.Predict(), want, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLPFPredictor(t *testing.T) {
+	p, err := NewLPF(0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "LPF" {
+		t.Errorf("name = %q", p.Name())
+	}
+	p.Observe(100) // primes
+	if p.Predict() != 100 {
+		t.Errorf("primed prediction = %v, want 100", p.Predict())
+	}
+	p.Observe(200)
+	// 100 + 0.125*(200-100) = 112.5
+	if !almostEqual(p.Predict(), 112.5, 1e-12) {
+		t.Errorf("prediction = %v, want 112.5", p.Predict())
+	}
+}
+
+func TestLPFValidation(t *testing.T) {
+	for _, beta := range []float64{0, -0.5, 1.5} {
+		if _, err := NewLPF(beta); err == nil {
+			t.Errorf("beta %v should be rejected", beta)
+		}
+	}
+	if _, err := NewLPF(1); err != nil {
+		t.Errorf("beta 1 should be accepted: %v", err)
+	}
+}
+
+func TestLPFConvergesToConstant(t *testing.T) {
+	p, err := NewLPF(0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p.Observe(42)
+	}
+	if !almostEqual(p.Predict(), 42, 1e-9) {
+		t.Errorf("prediction = %v, want 42", p.Predict())
+	}
+}
+
+func TestARIMAPredictorBootstrapsAsLast(t *testing.T) {
+	p, err := NewARIMA(2, 1, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "ARIMA" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if p.Predict() != 0 {
+		t.Errorf("initial prediction = %v, want 0", p.Predict())
+	}
+	p.Observe(123)
+	if p.Predict() != 123 {
+		t.Errorf("pre-fit prediction = %v, want LAST 123", p.Predict())
+	}
+	if p.Fitted() {
+		t.Error("should not be fitted after one observation")
+	}
+}
+
+func TestARIMAPredictorNonNegative(t *testing.T) {
+	p, err := NewARIMA(1, 1, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(31, "arima-pred")
+	// Steeply decreasing series: a d=1 model extrapolates the trend and
+	// would forecast negative values near zero.
+	v := 100.0
+	for i := 0; i < 300; i++ {
+		p.Observe(v + rng.NormFloat64())
+		v -= 0.5
+		if pred := p.Predict(); pred < 0 {
+			t.Fatalf("negative delay prediction %v", pred)
+		}
+	}
+}
+
+func TestARIMAPredictorValidation(t *testing.T) {
+	if _, err := NewARIMA(-1, 0, 0, 0); err == nil {
+		t.Error("negative order should be rejected")
+	}
+}
+
+func TestARIMAPredictorBeatsMeanOnCorrelatedDelays(t *testing.T) {
+	// On an AR(1) delay series, the fitted ARIMA predictor must achieve
+	// lower msqerr than MEAN — the essence of the paper's Table 3.
+	rng := sim.NewRNG(32, "corr-delays")
+	arimaP, err := NewARIMA(1, 0, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanP := NewMean()
+	q := 20.0
+	var mseARIMA, mseMean float64
+	count := 0
+	for i := 0; i < 5000; i++ {
+		delay := 192 + q
+		if i > 1000 { // past the fitting transient
+			da := arimaP.Predict() - delay
+			dm := meanP.Predict() - delay
+			mseARIMA += da * da
+			mseMean += dm * dm
+			count++
+		}
+		arimaP.Observe(delay)
+		meanP.Observe(delay)
+		q = 0.8*q + 4 + 3*rng.NormFloat64()
+		if q < 0 {
+			q = 0
+		}
+	}
+	if count == 0 || !(mseARIMA < mseMean) {
+		t.Errorf("ARIMA mse %v not better than MEAN mse %v over %d samples",
+			mseARIMA/float64(count), mseMean/float64(count), count)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wanfd/internal/sim"
+)
+
+// Torture and property tests for the freshness-point engine: random
+// heartbeat schedules with loss, reordering and duplication must never
+// break the detector's output invariants.
+
+// runSchedule drives one detector through a randomized heartbeat schedule
+// derived from the fuzz inputs and returns the recorded events plus the
+// final state.
+func runSchedule(t *testing.T, comboName string, jitters []uint16, drops []bool) ([]recordedEvent, *Detector) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var combo Combo
+	switch comboName {
+	case "":
+		combo = Combo{Predictor: "LAST", Margin: "JAC_med"}
+	default:
+		combo = Combo{Predictor: comboName, Margin: "CI_low"}
+	}
+	pred, margin, err := combo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &recordingListener{}
+	det, err := NewDetector(DetectorConfig{
+		Predictor: pred,
+		Margin:    margin,
+		Eta:       time.Second,
+		Clock:     eng,
+		Listener:  l,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jitters {
+		if i < len(drops) && drops[i] {
+			continue // lost heartbeat
+		}
+		seq := int64(i)
+		send := time.Duration(seq) * time.Second
+		// Delay in [0, 6.5536s): produces losses-by-lateness, reordering
+		// and pathological gaps.
+		delay := time.Duration(j) * 100 * time.Microsecond
+		eng.At(send+delay, func() {
+			det.OnHeartbeat(seq, send, eng.Now())
+		})
+		// Duplicate delivery for every fourth heartbeat.
+		if i%4 == 0 {
+			eng.At(send+delay+time.Millisecond, func() {
+				det.OnHeartbeat(seq, send, eng.Now())
+			})
+		}
+	}
+	if err := eng.Run(time.Duration(len(jitters)+20) * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	det.Stop()
+	return l.events, det
+}
+
+// checkEventInvariants verifies the output alternates suspect/trust,
+// starting with a suspect, with strictly monotone timestamps.
+func checkEventInvariants(t *testing.T, events []recordedEvent) {
+	t.Helper()
+	for i, e := range events {
+		if i == 0 {
+			if !e.suspect {
+				t.Fatalf("first event is a trust: %+v", events)
+			}
+			continue
+		}
+		if e.suspect == events[i-1].suspect {
+			t.Fatalf("events do not alternate at %d: %+v", i, events)
+		}
+		if e.at < events[i-1].at {
+			t.Fatalf("event timestamps regress at %d: %+v", i, events)
+		}
+	}
+}
+
+func TestDetectorTortureRandomSchedules(t *testing.T) {
+	f := func(jitters []uint16, drops []bool, comboIdx uint8) bool {
+		if len(jitters) == 0 {
+			return true
+		}
+		if len(jitters) > 200 {
+			jitters = jitters[:200]
+		}
+		predictors := append([]string{""}, PredictorNames...)
+		events, det := runSchedule(t, predictors[int(comboIdx)%len(predictors)], jitters, drops)
+		checkEventInvariants(t, events)
+		// Suspicion counter equals the number of suspect events.
+		var wantSusp uint64
+		for _, e := range events {
+			if e.suspect {
+				wantSusp++
+			}
+		}
+		_, _, susp := det.Stats()
+		if susp != wantSusp {
+			t.Fatalf("suspicion counter %d != %d suspect events", susp, wantSusp)
+		}
+		// Final Suspected() matches the last event (or false if none).
+		wantFinal := len(events) > 0 && events[len(events)-1].suspect
+		if det.Suspected() != wantFinal {
+			t.Fatalf("final suspected %v, events end with %v", det.Suspected(), wantFinal)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectorTortureAllPredictorsSteadyThenCrash(t *testing.T) {
+	// Every combination must detect a clean crash exactly once on a
+	// jitter-free stream.
+	for _, combo := range AllCombos() {
+		eng := sim.NewEngine()
+		pred, margin, err := combo.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := &recordingListener{}
+		det, err := NewDetector(DetectorConfig{
+			Predictor: pred, Margin: margin, Eta: time.Second, Clock: eng, Listener: l,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seq := int64(0); seq < 50; seq++ {
+			send := time.Duration(seq) * time.Second
+			eng.At(send+200*time.Millisecond, func() {
+				det.OnHeartbeat(seq, send, eng.Now())
+			})
+		}
+		if err := eng.Run(200 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		det.Stop()
+		if !det.Suspected() {
+			t.Errorf("%s: crash not detected", combo.Name())
+		}
+		if len(l.events) != 1 || !l.events[0].suspect {
+			t.Errorf("%s: events = %+v, want exactly one suspicion", combo.Name(), l.events)
+		}
+	}
+}
+
+func TestDetectorConcurrentHeartbeats(t *testing.T) {
+	// Real-time hammering from several goroutines must be race-free (run
+	// with -race) and keep counters consistent.
+	clock := sim.NewRealClock()
+	margin, err := NewConstantMargin("M", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DetectorConfig{
+		Predictor: NewLast(),
+		Margin:    margin,
+		Eta:       time.Millisecond,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Stop()
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				seq := int64(w*perWorker + i)
+				now := clock.Now()
+				det.OnHeartbeat(seq, now-time.Millisecond, now)
+				det.Suspected()
+				det.CurrentTimeout()
+			}
+		}()
+	}
+	wg.Wait()
+	hb, _, _ := det.Stats()
+	if hb != workers*perWorker {
+		t.Errorf("heartbeats = %d, want %d", hb, workers*perWorker)
+	}
+}

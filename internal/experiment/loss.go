@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/layers"
+	"wanfd/internal/neko"
+	"wanfd/internal/nekostat"
+	"wanfd/internal/sim"
+	"wanfd/internal/wan"
+)
+
+// LossPoint is one loss rate's QoS.
+type LossPoint struct {
+	// LossProb is the per-message loss probability.
+	LossProb float64
+	// QoS is the detector's QoS at this loss rate.
+	QoS nekostat.QoS
+}
+
+// LossSweepConfig parameterizes the loss ablation: the same detector and
+// delay process, with only the channel's loss probability varying — the
+// paper names loss as one of the two WAN hazards (with delay variability),
+// and a lost heartbeat is indistinguishable from a late one, so every loss
+// is a candidate mistake.
+type LossSweepConfig struct {
+	// Combo selects the detector (default LAST+JAC_med).
+	Combo core.Combo
+	// LossProbs are the loss probabilities to sweep (default 0, 0.001,
+	// 0.01, 0.05).
+	LossProbs []float64
+	// NumCycles, Eta, MTTC, TTR, Seed as in QoSConfig (zero → defaults,
+	// scaled to one run per point).
+	NumCycles int
+	Eta       time.Duration
+	MTTC      time.Duration
+	TTR       time.Duration
+	Seed      int64
+	Warmup    time.Duration
+}
+
+// RunLossSweep evaluates the detector at every loss rate. Each point uses
+// an identically-seeded delay process; only the loss draw differs.
+func RunLossSweep(cfg LossSweepConfig) ([]LossPoint, error) {
+	if cfg.Combo == (core.Combo{}) {
+		cfg.Combo = core.Combo{Predictor: "LAST", Margin: "JAC_med"}
+	}
+	if len(cfg.LossProbs) == 0 {
+		cfg.LossProbs = []float64{0, 0.001, 0.01, 0.05}
+	}
+	if cfg.NumCycles == 0 {
+		cfg.NumCycles = 10000
+	}
+	if cfg.Eta == 0 {
+		cfg.Eta = time.Second
+	}
+	if cfg.MTTC == 0 {
+		cfg.MTTC = 300 * time.Second
+	}
+	if cfg.TTR == 0 {
+		cfg.TTR = 30 * time.Second
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 60 * time.Second
+	}
+	out := make([]LossPoint, 0, len(cfg.LossProbs))
+	for _, p := range cfg.LossProbs {
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("experiment: loss probability %v out of [0,1)", p)
+		}
+		q, err := runLossPoint(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("loss %v: %w", p, err)
+		}
+		out = append(out, LossPoint{LossProb: p, QoS: q})
+	}
+	return out, nil
+}
+
+func runLossPoint(cfg LossSweepConfig, lossProb float64) (nekostat.QoS, error) {
+	eng := sim.NewEngine()
+	net, err := neko.NewSimNetwork(eng, nil)
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	// The delay process is seeded identically for every point; only the
+	// loss model changes.
+	delay, err := wan.NewAR1GammaDelay(wan.AR1GammaConfig{
+		Base:       192 * time.Millisecond,
+		Rho:        0.6,
+		GammaShape: 2.25,
+		GammaScale: 2.667,
+	}, sim.NewRNG(cfg.Seed, "loss-sweep/delay"))
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	var loss wan.LossModel
+	if lossProb > 0 {
+		loss, err = wan.NewBernoulliLoss(lossProb, sim.NewRNG(cfg.Seed, "loss-sweep/loss"))
+		if err != nil {
+			return nekostat.QoS{}, err
+		}
+	}
+	ch, err := wan.NewChannel(wan.ChannelConfig{Delay: delay, Loss: loss})
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	net.SetChannel(ProcMonitored, ProcMonitor, ch)
+
+	collector := nekostat.NewCollector()
+	hb, err := layers.NewHeartbeater(ProcMonitor, cfg.Eta)
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	crash, err := layers.NewSimCrash(cfg.MTTC, cfg.TTR, sim.NewRNG(cfg.Seed, "loss-sweep/crash"), collector)
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	monitored, err := neko.NewProcess(ProcMonitored, eng, net, hb, crash)
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	pred, margin, err := cfg.Combo.Build()
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	det, err := core.NewDetector(core.DetectorConfig{
+		Name:      cfg.Combo.Name(),
+		Predictor: pred,
+		Margin:    margin,
+		Eta:       cfg.Eta,
+		Clock:     eng,
+		Listener:  collector,
+	})
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	mon, err := layers.NewMonitor(det)
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	monitorProc, err := neko.NewProcess(ProcMonitor, eng, net, mon)
+	if err != nil {
+		return nekostat.QoS{}, err
+	}
+	if err := monitorProc.Start(); err != nil {
+		return nekostat.QoS{}, err
+	}
+	if err := monitored.Start(); err != nil {
+		return nekostat.QoS{}, err
+	}
+	windowEnd := time.Duration(cfg.NumCycles) * cfg.Eta
+	if err := eng.Run(windowEnd); err != nil {
+		return nekostat.QoS{}, err
+	}
+	monitored.Stop()
+	monitorProc.Stop()
+	mon.Stop()
+	return nekostat.QoSFromEvents(collector.Events(), cfg.Combo.Name(), cfg.Warmup, windowEnd)
+}
+
+// LossSweepTable renders the sweep.
+func LossSweepTable(points []LossPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %12s %10s %9s\n", "loss", "T_D ms", "T_M ms", "T_MR ms", "P_A", "mistakes")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8.3f %10.1f %10.1f %12.1f %10.6f %9d\n",
+			p.LossProb, p.QoS.TD.Mean, p.QoS.TM.Mean, p.QoS.TMR.Mean, p.QoS.PA, p.QoS.Mistakes)
+	}
+	return b.String()
+}

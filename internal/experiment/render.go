@@ -1,0 +1,331 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wanfd/internal/core"
+	"wanfd/internal/nekostat"
+	"wanfd/internal/stats"
+)
+
+// Metric selects one of the paper's QoS metrics for rendering.
+type Metric int
+
+// The five plotted metrics (Figures 4–8).
+const (
+	MetricTD Metric = iota + 1
+	MetricTDU
+	MetricTM
+	MetricTMR
+	MetricPA
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricTD:
+		return "T_D"
+	case MetricTDU:
+		return "T_D^U"
+	case MetricTM:
+		return "T_M"
+	case MetricTMR:
+		return "T_MR"
+	case MetricPA:
+		return "P_A"
+	default:
+		return "unknown"
+	}
+}
+
+// FigureNumber returns the paper figure the metric corresponds to.
+func (m Metric) FigureNumber() int {
+	switch m {
+	case MetricTD:
+		return 4
+	case MetricTDU:
+		return 5
+	case MetricTM:
+		return 6
+	case MetricTMR:
+		return 7
+	case MetricPA:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Title returns the paper's caption-style title for the metric.
+func (m Metric) Title() string {
+	switch m {
+	case MetricTD:
+		return "Delay metric T_D (ms)"
+	case MetricTDU:
+		return "Delay metric T_D^U (ms, max observed)"
+	case MetricTM:
+		return "Accuracy metric T_M (ms)"
+	case MetricTMR:
+		return "Accuracy metric T_MR (ms)"
+	case MetricPA:
+		return "Accuracy metric P_A"
+	default:
+		return "unknown metric"
+	}
+}
+
+// AllMetrics lists the plotted metrics in figure order.
+var AllMetrics = []Metric{MetricTD, MetricTDU, MetricTM, MetricTMR, MetricPA}
+
+// Value extracts the metric's value for one detector's QoS; ok is false if
+// the run produced no samples for it.
+func (m Metric) Value(q nekostat.QoS) (float64, bool) {
+	switch m {
+	case MetricTD:
+		return q.TD.Mean, q.TD.N > 0
+	case MetricTDU:
+		return q.TDU, q.TD.N > 0
+	case MetricTM:
+		return q.TM.Mean, q.TM.N > 0
+	case MetricTMR:
+		return q.TMR.Mean, q.TMR.N > 0
+	case MetricPA:
+		return q.PA, true
+	default:
+		return 0, false
+	}
+}
+
+// BetterDirection reports whether lower values are better for the metric
+// (true for delays and T_M; T_MR and P_A prefer higher).
+func (m Metric) BetterDirection() string {
+	switch m {
+	case MetricTD, MetricTDU, MetricTM:
+		return "lower is better"
+	case MetricTMR, MetricPA:
+		return "higher is better"
+	default:
+		return ""
+	}
+}
+
+// ComboValue returns the metric value for a predictor+margin combination.
+func (r *QoSResult) ComboValue(m Metric, predictor, margin string) (float64, bool) {
+	q, ok := r.ByDetector[core.Combo{Predictor: predictor, Margin: margin}.Name()]
+	if !ok {
+		return 0, false
+	}
+	return m.Value(q)
+}
+
+// FigureTable renders one figure as a predictor×margin grid, the textual
+// equivalent of the paper's Figures 4–8 (predictors as series, the six
+// safety margins on the x-axis).
+func (r *QoSResult) FigureTable(m Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d — %s (%s)\n", m.FigureNumber(), m.Title(), m.BetterDirection())
+	fmt.Fprintf(&b, "%-10s", "Predictor")
+	for _, margin := range core.MarginNames {
+		fmt.Fprintf(&b, " %10s", margin)
+	}
+	b.WriteByte('\n')
+	for _, pred := range core.PredictorNames {
+		fmt.Fprintf(&b, "%-10s", pred)
+		for _, margin := range core.MarginNames {
+			v, ok := r.ComboValue(m, pred, margin)
+			if !ok {
+				fmt.Fprintf(&b, " %10s", "-")
+				continue
+			}
+			if m == MetricPA {
+				fmt.Fprintf(&b, " %10.6f", v)
+			} else {
+				fmt.Fprintf(&b, " %10.1f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FigureTableCI renders a figure with 95% confidence half-widths
+// (value±hw) for the sample-backed metrics T_D, T_M and T_MR. For T_D^U
+// (a maximum) and P_A (a derived ratio) it falls back to FigureTable.
+func (r *QoSResult) FigureTableCI(m Metric) string {
+	var raw func(nekostat.QoS) []float64
+	switch m {
+	case MetricTD:
+		raw = func(q nekostat.QoS) []float64 { return q.RawTD }
+	case MetricTM:
+		raw = func(q nekostat.QoS) []float64 { return q.RawTM }
+	case MetricTMR:
+		raw = func(q nekostat.QoS) []float64 { return q.RawTMR }
+	default:
+		return r.FigureTable(m)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d — %s (%s; mean ± 95%% CI)\n", m.FigureNumber(), m.Title(), m.BetterDirection())
+	fmt.Fprintf(&b, "%-10s", "Predictor")
+	for _, margin := range core.MarginNames {
+		fmt.Fprintf(&b, " %16s", margin)
+	}
+	b.WriteByte('\n')
+	for _, pred := range core.PredictorNames {
+		fmt.Fprintf(&b, "%-10s", pred)
+		for _, margin := range core.MarginNames {
+			q, ok := r.ByDetector[core.Combo{Predictor: pred, Margin: margin}.Name()]
+			if !ok {
+				fmt.Fprintf(&b, " %16s", "-")
+				continue
+			}
+			mean, hw, err := stats.MeanCI(raw(q))
+			if err != nil {
+				fmt.Fprintf(&b, " %16s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %9.1f±%-6.1f", mean, hw)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Report renders every figure plus a diagnostics block (crashes detected
+// and missed, mistake counts) — the full §5.2 output of one invocation.
+func (r *QoSResult) Report() string {
+	var b strings.Builder
+	b.WriteString(r.Config.ParamsTable())
+	b.WriteByte('\n')
+	for _, m := range AllMetrics {
+		b.WriteString(r.FigureTable(m))
+		b.WriteByte('\n')
+	}
+	b.WriteString("Diagnostics\n")
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %9s %8s\n",
+		"Detector", "crashes", "detected", "missed", "mistakes", "N(T_D)")
+	for _, name := range r.Order {
+		q, ok := r.ByDetector[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s %8d %8d %8d %9d %8d\n",
+			name, q.Crashes, q.Detected, q.Missed, q.Mistakes, q.TD.N)
+	}
+	if r.ChannelStats.N() > 0 {
+		fmt.Fprintf(&b, "\nObserved channel: mean %.1f ms, sd %.1f ms, min %.1f ms, max %.1f ms over %d heartbeats\n",
+			r.ChannelStats.Mean(), r.ChannelStats.StdDev(),
+			r.ChannelStats.Min(), r.ChannelStats.Max(), r.ChannelStats.N())
+	}
+	if corr, err := r.AccuracyCorrelation(); err == nil {
+		fmt.Fprintf(&b, "corr(T_M, T_MR) across detectors: %.3f (the paper: \"strongly correlated\")\n", corr)
+	}
+	return b.String()
+}
+
+// AccuracyCorrelation returns the Pearson correlation, across detectors, of
+// the mean mistake duration and the mean mistake recurrence — the
+// quantitative form of the paper's observation that T_M and T_MR are
+// strongly correlated (you buy recurrence time with mistake duration).
+func (r *QoSResult) AccuracyCorrelation() (float64, error) {
+	var tms, tmrs []float64
+	for _, name := range r.Order {
+		q, ok := r.ByDetector[name]
+		if !ok || q.TM.N == 0 || q.TMR.N == 0 {
+			continue
+		}
+		tms = append(tms, q.TM.Mean)
+		tmrs = append(tmrs, q.TMR.Mean)
+	}
+	return stats.Correlation(tms, tmrs)
+}
+
+// FigurePlot renders one figure as an ASCII bar chart in the paper's
+// layout: the six safety margins group the x-axis, one bar per predictor,
+// bars scaled over the figure's value range.
+func (r *QoSResult) FigurePlot(m Metric) string {
+	const width = 44
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, pred := range core.PredictorNames {
+		for _, margin := range core.MarginNames {
+			if v, ok := r.ComboValue(m, pred, margin); ok {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d — %s (%s)\n", m.FigureNumber(), m.Title(), m.BetterDirection())
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	format := "%.1f"
+	if m == MetricPA {
+		format = "%.6f"
+	}
+	for _, margin := range core.MarginNames {
+		fmt.Fprintf(&b, "%s\n", margin)
+		for _, pred := range core.PredictorNames {
+			v, ok := r.ComboValue(m, pred, margin)
+			if !ok {
+				fmt.Fprintf(&b, "  %-8s %s\n", pred, "-")
+				continue
+			}
+			n := int(math.Round((v - lo) / span * width))
+			fmt.Fprintf(&b, "  %-8s |%-*s| "+format+"\n", pred, width, strings.Repeat("=", n), v)
+		}
+	}
+	fmt.Fprintf(&b, "(bars span ["+format+", "+format+"])\n", lo, hi)
+	return b.String()
+}
+
+// CSV renders every detector's metrics as comma-separated values with a
+// header row — for external plotting of Figures 4–8.
+func (r *QoSResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("detector,td_ms,tdu_ms,tm_ms,tmr_ms,pa,crashes,detected,missed,mistakes\n")
+	for _, name := range r.Order {
+		q, ok := r.ByDetector[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f,%.3f,%.6f,%d,%d,%d,%d\n",
+			name, q.TD.Mean, q.TDU, q.TM.Mean, q.TMR.Mean, q.PA,
+			q.Crashes, q.Detected, q.Missed, q.Mistakes)
+	}
+	return b.String()
+}
+
+// BestCombo returns the combination with the best value of the metric
+// (respecting the metric's direction), ignoring combinations without
+// samples.
+func (r *QoSResult) BestCombo(m Metric) (core.Combo, float64, error) {
+	lower := m == MetricTD || m == MetricTDU || m == MetricTM
+	best := core.Combo{}
+	bestV := math.Inf(1)
+	if !lower {
+		bestV = math.Inf(-1)
+	}
+	found := false
+	for _, pred := range core.PredictorNames {
+		for _, margin := range core.MarginNames {
+			v, ok := r.ComboValue(m, pred, margin)
+			if !ok {
+				continue
+			}
+			if (lower && v < bestV) || (!lower && v > bestV) {
+				best, bestV, found = core.Combo{Predictor: pred, Margin: margin}, v, true
+			}
+		}
+	}
+	if !found {
+		return core.Combo{}, 0, fmt.Errorf("experiment: no combination has samples for %s", m)
+	}
+	return best, bestV, nil
+}

@@ -1,0 +1,429 @@
+// Package layers provides the protocol layers of the paper's experimental
+// architecture (Figure 3): the Heartbeater on the monitored process, the
+// SimCrash fault injector beneath it, and — on the monitor — the
+// MultiPlexer that fans every received message out to all failure-detector
+// instances so that the 30 alternatives perceive identical network
+// conditions, plus the Monitor layer wrapping one detector. A pull-style
+// request/response pair (Puller/Responder, see pull.go) and a per-source
+// Router (router.go) complete the set.
+//
+// All layers are safe for concurrent use: in a real-network deployment,
+// packets arrive on the transport goroutine while timers fire elsewhere.
+package layers
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/neko"
+	"wanfd/internal/sim"
+)
+
+// Heartbeater periodically sends heartbeat messages to a monitor process —
+// the monitored process q of the paper, sending message m_i at σ_i = i·η.
+type Heartbeater struct {
+	neko.Base
+	to  neko.ProcessID
+	eta time.Duration
+
+	mu    sync.Mutex
+	ctx   *neko.Context
+	epoch time.Duration
+	seq   int64 // next sequence number to send
+	cycle int64 // cycles completed since Init (drives the send grid)
+	timer sim.Timer
+
+	sent atomic.Uint64
+}
+
+// NewHeartbeater builds a heartbeater that sends to the given process every
+// eta, starting at sequence number 0.
+func NewHeartbeater(to neko.ProcessID, eta time.Duration) (*Heartbeater, error) {
+	if eta <= 0 {
+		return nil, fmt.Errorf("layers: heartbeat period must be positive, got %v", eta)
+	}
+	return &Heartbeater{to: to, eta: eta}, nil
+}
+
+var _ neko.Layer = (*Heartbeater)(nil)
+
+// SetStartSeq sets the first sequence number (default 0). On a real
+// network, deriving it from the shared time base (⌊wall-clock/η⌋ — the
+// paper's σ_i = i·η numbering) lets a restarted heartbeater resume with
+// fresh sequence numbers instead of being mistaken for stale traffic.
+// It must be called before Init.
+func (h *Heartbeater) SetStartSeq(seq int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ctx != nil {
+		return fmt.Errorf("layers: SetStartSeq after Init")
+	}
+	if seq < 0 {
+		return fmt.Errorf("layers: negative start sequence %d", seq)
+	}
+	h.seq = seq
+	return nil
+}
+
+// Init starts the heartbeat cycle: the first heartbeat is sent immediately,
+// then one every η.
+func (h *Heartbeater) Init(ctx *neko.Context) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ctx = ctx
+	h.epoch = ctx.Clock.Now()
+	h.timer = ctx.Clock.AfterFunc(0, h.tick)
+	return nil
+}
+
+func (h *Heartbeater) tick() {
+	h.mu.Lock()
+	if h.ctx == nil || h.timer == nil {
+		h.mu.Unlock()
+		return
+	}
+	now := h.ctx.Clock.Now()
+	// Stamp the nominal grid time σ_i = epoch + i·η (the paper's send
+	// times), not the actual send instant: on a real host, timer lateness
+	// then shows up as measured delay, which the adaptive safety margins
+	// absorb — stamping the actual instant would instead leak sender
+	// jitter into the freshness points unseen by the margins.
+	msg := &neko.Message{
+		From:   h.ctx.ID,
+		To:     h.to,
+		Type:   neko.MsgHeartbeat,
+		Seq:    h.seq,
+		SentAt: h.epoch + time.Duration(h.cycle)*h.eta,
+	}
+	h.seq++
+	h.cycle++
+	// Schedule against the nominal grid so timer jitter does not
+	// accumulate.
+	next := h.epoch + time.Duration(h.cycle)*h.eta
+	d := next - now
+	if d < 0 {
+		d = 0
+	}
+	h.timer = h.ctx.Clock.AfterFunc(d, h.tick)
+	h.mu.Unlock()
+
+	h.Send(msg)
+	h.sent.Add(1)
+}
+
+// Stop halts the heartbeat cycle.
+func (h *Heartbeater) Stop() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.timer != nil {
+		h.timer.Stop()
+		h.timer = nil
+	}
+}
+
+// Sent returns the number of heartbeats emitted.
+func (h *Heartbeater) Sent() uint64 { return h.sent.Load() }
+
+// CrashListener observes the fault injector's state transitions.
+type CrashListener interface {
+	// OnCrash is called when the injected crash begins.
+	OnCrash(at time.Duration)
+	// OnRestore is called when the process is restored.
+	OnRestore(at time.Duration)
+}
+
+// SimCrash is the paper's fault-injection layer: inserted beneath the
+// monitored process's protocol layers, it alternates between good periods
+// and crash periods. During a crash it simply drops all messages in both
+// directions, so the layers above appear crashed to the rest of the system;
+// in good periods it is transparent.
+//
+// The time to crash is uniform in [MTTC/2, 3·MTTC/2] (mean MTTC) and the
+// repair time is the constant TTR, as in the paper's SimCrash.
+type SimCrash struct {
+	neko.Base
+	mttc time.Duration
+	ttr  time.Duration
+	l    CrashListener
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	ctx      *neko.Context
+	crashed  bool
+	timer    sim.Timer
+	disabled bool
+
+	crashes atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewSimCrash builds the fault injector. mttc and ttr must be positive;
+// listener may be nil.
+func NewSimCrash(mttc, ttr time.Duration, rng *rand.Rand, l CrashListener) (*SimCrash, error) {
+	if mttc <= 0 {
+		return nil, fmt.Errorf("layers: MTTC must be positive, got %v", mttc)
+	}
+	if ttr <= 0 {
+		return nil, fmt.Errorf("layers: TTR must be positive, got %v", ttr)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("layers: SimCrash needs a random source")
+	}
+	return &SimCrash{mttc: mttc, ttr: ttr, rng: rng, l: l}, nil
+}
+
+var _ neko.Layer = (*SimCrash)(nil)
+
+// Init schedules the first crash.
+func (s *SimCrash) Init(ctx *neko.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctx = ctx
+	s.timer = ctx.Clock.AfterFunc(s.timeToCrashLocked(), s.crash)
+	return nil
+}
+
+// timeToCrashLocked draws uniformly from [MTTC/2, 3·MTTC/2]. Callers hold
+// s.mu.
+func (s *SimCrash) timeToCrashLocked() time.Duration {
+	half := float64(s.mttc) / 2
+	return time.Duration(half + s.rng.Float64()*2*half)
+}
+
+func (s *SimCrash) crash() {
+	s.mu.Lock()
+	if s.disabled {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = true
+	s.crashes.Add(1)
+	now := s.ctx.Clock.Now()
+	s.timer = s.ctx.Clock.AfterFunc(s.ttr, s.restore)
+	l := s.l
+	s.mu.Unlock()
+	if l != nil {
+		l.OnCrash(now)
+	}
+}
+
+func (s *SimCrash) restore() {
+	s.mu.Lock()
+	if s.disabled {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = false
+	now := s.ctx.Clock.Now()
+	s.timer = s.ctx.Clock.AfterFunc(s.timeToCrashLocked(), s.crash)
+	l := s.l
+	s.mu.Unlock()
+	if l != nil {
+		l.OnRestore(now)
+	}
+}
+
+// Send drops downward traffic during a crash.
+func (s *SimCrash) Send(m *neko.Message) {
+	if s.Crashed() {
+		s.dropped.Add(1)
+		return
+	}
+	s.Base.Send(m)
+}
+
+// Receive drops upward traffic during a crash.
+func (s *SimCrash) Receive(m *neko.Message) {
+	if s.Crashed() {
+		s.dropped.Add(1)
+		return
+	}
+	s.Base.Receive(m)
+}
+
+// Stop cancels the crash schedule.
+func (s *SimCrash) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disabled = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
+// Crashed reports whether the layer is currently simulating a crash.
+func (s *SimCrash) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Stats reports the number of injected crashes and dropped messages.
+func (s *SimCrash) Stats() (crashes, dropped uint64) {
+	return s.crashes.Load(), s.dropped.Load()
+}
+
+// MultiPlexer forwards every message received from below to all registered
+// upper layers — the paper's mechanism for feeding the 30 detectors the
+// exact same message stream, the basis of its fair comparison.
+type MultiPlexer struct {
+	neko.Base
+	mu     sync.RWMutex
+	uppers []neko.Receiver
+}
+
+// NewMultiPlexer builds an empty multiplexer.
+func NewMultiPlexer() *MultiPlexer { return &MultiPlexer{} }
+
+var _ neko.Layer = (*MultiPlexer)(nil)
+
+// AddUpper registers one more upper receiver.
+func (m *MultiPlexer) AddUpper(r neko.Receiver) {
+	if r == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.uppers = append(m.uppers, r)
+}
+
+// SetAbove registers r as an additional upper receiver (the multiplexer
+// accumulates rather than replaces, so it can sit inside a normal stack and
+// still fan out).
+func (m *MultiPlexer) SetAbove(r neko.Receiver) { m.AddUpper(r) }
+
+// Receive fans the message out to every upper layer.
+func (m *MultiPlexer) Receive(msg *neko.Message) {
+	m.mu.RLock()
+	uppers := m.uppers
+	m.mu.RUnlock()
+	for _, u := range uppers {
+		u.Receive(msg)
+	}
+}
+
+// Monitor wraps one failure detector as a protocol layer: every heartbeat
+// delivered from below is fed to the detector with its receive timestamp.
+// It accepts any core.HeartbeatConsumer — the paper's freshness-point
+// Detector or the φ-accrual AccrualDetector.
+type Monitor struct {
+	neko.Base
+	c   core.HeartbeatConsumer
+	det *core.Detector // non-nil when the consumer is a Detector
+	ctx atomic.Pointer[neko.Context]
+}
+
+// NewMonitor wraps a freshness-point detector.
+func NewMonitor(det *core.Detector) (*Monitor, error) {
+	if det == nil {
+		return nil, fmt.Errorf("layers: monitor needs a detector")
+	}
+	return &Monitor{c: det, det: det}, nil
+}
+
+// NewConsumerMonitor wraps any heartbeat-consuming detector.
+func NewConsumerMonitor(c core.HeartbeatConsumer) (*Monitor, error) {
+	if c == nil {
+		return nil, fmt.Errorf("layers: monitor needs a detector")
+	}
+	det, _ := c.(*core.Detector)
+	return &Monitor{c: c, det: det}, nil
+}
+
+var _ neko.Layer = (*Monitor)(nil)
+
+// Init captures the context.
+func (m *Monitor) Init(ctx *neko.Context) error {
+	m.ctx.Store(ctx)
+	return nil
+}
+
+// Receive feeds heartbeats to the detector; other message types pass up.
+func (m *Monitor) Receive(msg *neko.Message) {
+	if ctx := m.ctx.Load(); ctx != nil && msg.Type == neko.MsgHeartbeat {
+		m.c.OnHeartbeat(msg.Seq, msg.SentAt, ctx.Clock.Now())
+		return
+	}
+	m.Base.Receive(msg)
+}
+
+// Stop stops the wrapped detector's timers.
+func (m *Monitor) Stop() { m.c.Stop() }
+
+// Detector returns the wrapped freshness-point detector, or nil when the
+// monitor wraps a different consumer kind.
+func (m *Monitor) Detector() *core.Detector { return m.det }
+
+// Consumer returns the wrapped detector regardless of kind.
+func (m *Monitor) Consumer() core.HeartbeatConsumer { return m.c }
+
+// DelayRecorder is a passive layer that reports the one-way delay of every
+// heartbeat it sees to a callback (used by the Table 3 and Table 4
+// experiments) and passes the message up unchanged. The callback runs on
+// the delivering goroutine and must be safe for concurrent use on a real
+// network.
+type DelayRecorder struct {
+	neko.Base
+	fn  func(seq int64, delay time.Duration)
+	ctx atomic.Pointer[neko.Context]
+}
+
+// NewDelayRecorder builds a recorder invoking fn per heartbeat.
+func NewDelayRecorder(fn func(seq int64, delay time.Duration)) (*DelayRecorder, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("layers: delay recorder needs a callback")
+	}
+	return &DelayRecorder{fn: fn}, nil
+}
+
+var _ neko.Layer = (*DelayRecorder)(nil)
+
+// Init captures the context.
+func (r *DelayRecorder) Init(ctx *neko.Context) error {
+	r.ctx.Store(ctx)
+	return nil
+}
+
+// Receive records heartbeat delays and forwards everything upward.
+func (r *DelayRecorder) Receive(msg *neko.Message) {
+	if ctx := r.ctx.Load(); ctx != nil && msg.Type == neko.MsgHeartbeat {
+		r.fn(msg.Seq, ctx.Clock.Now()-msg.SentAt)
+	}
+	r.Base.Receive(msg)
+}
+
+// ClockSkew models a violation of the paper's synchronized-clocks
+// assumption: it shifts the send timestamp of every upward heartbeat by a
+// fixed offset, as seen by everything above it. A positive skew makes the
+// monitor believe heartbeats were sent later than they were (measured
+// delays shrink, timeouts tighten, false suspicions rise); a negative skew
+// inflates the measured delays (timeouts swell, detection slows). The QoS
+// experiment uses it to quantify how much clock error the detectors
+// tolerate.
+type ClockSkew struct {
+	neko.Base
+	offset time.Duration
+}
+
+// NewClockSkew builds the skew layer.
+func NewClockSkew(offset time.Duration) *ClockSkew {
+	return &ClockSkew{offset: offset}
+}
+
+var _ neko.Layer = (*ClockSkew)(nil)
+
+// Receive shifts heartbeat send timestamps and forwards everything.
+func (c *ClockSkew) Receive(m *neko.Message) {
+	if m.Type == neko.MsgHeartbeat {
+		shifted := *m
+		shifted.SentAt += c.offset
+		c.Base.Receive(&shifted)
+		return
+	}
+	c.Base.Receive(m)
+}

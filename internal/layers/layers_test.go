@@ -1,0 +1,383 @@
+package layers
+
+import (
+	"testing"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/neko"
+	"wanfd/internal/sim"
+	"wanfd/internal/wan"
+)
+
+type captureLayer struct {
+	neko.Base
+	got []neko.Message
+}
+
+func (c *captureLayer) Receive(m *neko.Message) { c.got = append(c.got, *m) }
+
+type crashLog struct {
+	crashes  []time.Duration
+	restores []time.Duration
+}
+
+func (c *crashLog) OnCrash(at time.Duration)   { c.crashes = append(c.crashes, at) }
+func (c *crashLog) OnRestore(at time.Duration) { c.restores = append(c.restores, at) }
+
+func newNet(t *testing.T, eng *sim.Engine, delay time.Duration) *neko.SimNetwork {
+	t.Helper()
+	net, err := neko.NewSimNetwork(eng, func() (*wan.Channel, error) {
+		return wan.NewChannel(wan.ChannelConfig{Delay: &wan.ConstantDelay{D: delay}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestHeartbeaterValidation(t *testing.T) {
+	if _, err := NewHeartbeater(2, 0); err == nil {
+		t.Error("zero eta should be rejected")
+	}
+}
+
+func TestHeartbeaterPeriodicSending(t *testing.T) {
+	eng := sim.NewEngine()
+	net := newNet(t, eng, 10*time.Millisecond)
+	rx := &captureLayer{}
+	if _, err := neko.NewProcess(2, eng, net, rx); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewHeartbeater(2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := neko.NewProcess(1, eng, net, hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(4*time.Second + 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rx.got) != 5 { // seq 0..4 sent at 0,1,2,3,4 s
+		t.Fatalf("received %d heartbeats, want 5", len(rx.got))
+	}
+	for i, m := range rx.got {
+		if m.Seq != int64(i) {
+			t.Errorf("heartbeat %d has seq %d", i, m.Seq)
+		}
+		if m.Type != neko.MsgHeartbeat {
+			t.Errorf("heartbeat %d has type %v", i, m.Type)
+		}
+		wantSent := time.Duration(i) * time.Second
+		if m.SentAt != wantSent {
+			t.Errorf("heartbeat %d SentAt = %v, want %v", i, m.SentAt, wantSent)
+		}
+	}
+	if hb.Sent() != 5 {
+		t.Errorf("Sent = %d, want 5", hb.Sent())
+	}
+}
+
+func TestSimCrashValidation(t *testing.T) {
+	rng := sim.NewRNG(1, "x")
+	if _, err := NewSimCrash(0, time.Second, rng, nil); err == nil {
+		t.Error("zero MTTC should be rejected")
+	}
+	if _, err := NewSimCrash(time.Second, 0, rng, nil); err == nil {
+		t.Error("zero TTR should be rejected")
+	}
+	if _, err := NewSimCrash(time.Second, time.Second, nil, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+}
+
+func TestSimCrashCycle(t *testing.T) {
+	eng := sim.NewEngine()
+	net := newNet(t, eng, time.Millisecond)
+	rx := &captureLayer{}
+	if _, err := neko.NewProcess(2, eng, net, rx); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewHeartbeater(2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &crashLog{}
+	crash, err := NewSimCrash(60*time.Second, 10*time.Second, sim.NewRNG(7, "crash"), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := neko.NewProcess(1, eng, net, hb, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	horizon := 10 * time.Minute
+	if err := eng.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+
+	if len(log.crashes) == 0 {
+		t.Fatal("no crashes injected in 10 minutes with MTTC=60s")
+	}
+	// Crash/restore alternate, restores exactly TTR after crashes.
+	for i, r := range log.restores {
+		if got := r - log.crashes[i]; got != 10*time.Second {
+			t.Errorf("crash %d repaired after %v, want TTR=10s", i, got)
+		}
+	}
+	// Inter-crash times (restore -> next crash) within [MTTC/2, 3MTTC/2].
+	for i := 1; i < len(log.crashes); i++ {
+		gap := log.crashes[i] - log.restores[i-1]
+		if gap < 30*time.Second || gap > 90*time.Second {
+			t.Errorf("time-to-crash %v outside [30s, 90s]", gap)
+		}
+	}
+	// No heartbeat was delivered from within a crash period.
+	for _, m := range rx.got {
+		for i, c := range log.crashes {
+			r := horizon
+			if i < len(log.restores) {
+				r = log.restores[i]
+			}
+			if m.SentAt >= c && m.SentAt < r {
+				t.Errorf("heartbeat sent at %v inside crash period [%v, %v]", m.SentAt, c, r)
+			}
+		}
+	}
+	crashes, dropped := crash.Stats()
+	if crashes != uint64(len(log.crashes)) {
+		t.Errorf("Stats crashes = %d, want %d", crashes, len(log.crashes))
+	}
+	if dropped == 0 {
+		t.Error("expected dropped heartbeats during crash periods")
+	}
+}
+
+func TestSimCrashDropsUpwardTraffic(t *testing.T) {
+	crash, err := NewSimCrash(time.Second, time.Second, sim.NewRNG(1, "c"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := &captureLayer{}
+	crash.SetAbove(top)
+	crash.crashed = true
+	crash.Receive(&neko.Message{Seq: 1})
+	if len(top.got) != 0 {
+		t.Error("crashed layer leaked upward traffic")
+	}
+	crash.crashed = false
+	crash.Receive(&neko.Message{Seq: 2})
+	if len(top.got) != 1 {
+		t.Error("restored layer should pass upward traffic")
+	}
+}
+
+func TestMultiPlexerFansOut(t *testing.T) {
+	mp := NewMultiPlexer()
+	a, b, c := &captureLayer{}, &captureLayer{}, &captureLayer{}
+	mp.AddUpper(a)
+	mp.SetAbove(b) // SetAbove accumulates
+	mp.AddUpper(c)
+	mp.AddUpper(nil) // ignored
+	mp.Receive(&neko.Message{Seq: 5})
+	for i, l := range []*captureLayer{a, b, c} {
+		if len(l.got) != 1 || l.got[0].Seq != 5 {
+			t.Errorf("upper %d got %+v, want one message with Seq 5", i, l.got)
+		}
+	}
+}
+
+func TestMonitorFeedsDetector(t *testing.T) {
+	eng := sim.NewEngine()
+	margin, err := core.NewConstantMargin("M", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewDetector(core.DetectorConfig{
+		Predictor: core.NewLast(),
+		Margin:    margin,
+		Eta:       time.Second,
+		Clock:     eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Init(&neko.Context{ID: 2, Clock: eng}); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(100*time.Millisecond, func() {
+		mon.Receive(&neko.Message{Type: neko.MsgHeartbeat, Seq: 0, SentAt: 0})
+	})
+	if err := eng.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	hb, _, _ := det.Stats()
+	if hb != 1 {
+		t.Errorf("detector heartbeats = %d, want 1", hb)
+	}
+	if mon.Detector() != det {
+		t.Error("Detector() should return the wrapped detector")
+	}
+	mon.Stop()
+}
+
+func TestMonitorPassesNonHeartbeatUp(t *testing.T) {
+	eng := sim.NewEngine()
+	margin, _ := core.NewConstantMargin("M", 0)
+	det, err := core.NewDetector(core.DetectorConfig{
+		Predictor: core.NewLast(), Margin: margin, Eta: time.Second, Clock: eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := &captureLayer{}
+	mon.SetAbove(top)
+	if err := mon.Init(&neko.Context{ID: 2, Clock: eng}); err != nil {
+		t.Fatal(err)
+	}
+	mon.Receive(&neko.Message{Type: neko.MsgUser, Seq: 9})
+	if len(top.got) != 1 || top.got[0].Seq != 9 {
+		t.Errorf("non-heartbeat not passed up: %v", top.got)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil); err == nil {
+		t.Error("nil detector should be rejected")
+	}
+}
+
+func TestDelayRecorder(t *testing.T) {
+	if _, err := NewDelayRecorder(nil); err == nil {
+		t.Error("nil callback should be rejected")
+	}
+	eng := sim.NewEngine()
+	var delays []time.Duration
+	rec, err := NewDelayRecorder(func(_ int64, d time.Duration) { delays = append(delays, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := &captureLayer{}
+	rec.SetAbove(top)
+	if err := rec.Init(&neko.Context{ID: 2, Clock: eng}); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(150*time.Millisecond, func() {
+		rec.Receive(&neko.Message{Type: neko.MsgHeartbeat, Seq: 0, SentAt: 0})
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(delays) != 1 || delays[0] != 150*time.Millisecond {
+		t.Errorf("delays = %v, want [150ms]", delays)
+	}
+	if len(top.got) != 1 {
+		t.Error("recorder must forward the message upward")
+	}
+}
+
+// End-to-end: heartbeater + simcrash over a WAN channel into a multiplexer
+// feeding two detectors; the crash is detected by both.
+func TestEndToEndCrashDetection(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := neko.NewSimNetwork(eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := wan.NewPresetChannel(wan.PresetItalyJapan, 99, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetChannel(1, 2, ch)
+
+	log := &crashLog{}
+	hb, err := NewHeartbeater(2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, err := NewSimCrash(300*time.Second, 30*time.Second, sim.NewRNG(99, "crash"), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitored, err := neko.NewProcess(1, eng, net, hb, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mp := NewMultiPlexer()
+	var monitors []*Monitor
+	for _, combo := range []core.Combo{
+		{Predictor: "LAST", Margin: "JAC_med"},
+		{Predictor: "MEAN", Margin: "CI_low"},
+	} {
+		pred, margin, err := combo.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := core.NewDetector(core.DetectorConfig{
+			Name: combo.Name(), Predictor: pred, Margin: margin,
+			Eta: time.Second, Clock: eng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon, err := NewMonitor(det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp.AddUpper(mon)
+		monitors = append(monitors, mon)
+	}
+	monitorProc, err := neko.NewProcess(2, eng, net, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range monitors {
+		if err := m.Init(&neko.Context{ID: 2, Clock: eng}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := monitorProc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := monitored.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Run until just after the first crash.
+	if err := eng.Run(480 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.crashes) == 0 {
+		t.Fatal("no crash injected within 8 minutes (MTTC=300s)")
+	}
+	monitored.Stop()
+	monitorProc.Stop()
+	for _, m := range monitors {
+		m.Stop()
+		_, _, susp := m.Detector().Stats()
+		if susp == 0 {
+			t.Errorf("detector %s never suspected despite a crash", m.Detector().Name())
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package layers
+
+import (
+	"testing"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/neko"
+	"wanfd/internal/sim"
+	"wanfd/internal/wan"
+)
+
+func newPullDetector(t *testing.T, eng *sim.Engine, eta time.Duration) *core.Detector {
+	t.Helper()
+	margin, err := core.NewConstantMargin("M", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewDetector(core.DetectorConfig{
+		Predictor: core.NewLast(),
+		Margin:    margin,
+		Eta:       eta,
+		Clock:     eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestPullerValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	det := newPullDetector(t, eng, time.Second)
+	if _, err := NewPuller(1, 0, det); err == nil {
+		t.Error("zero eta should be rejected")
+	}
+	if _, err := NewPuller(1, time.Second, nil); err == nil {
+		t.Error("nil detector should be rejected")
+	}
+}
+
+func TestResponderAnswersPings(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResponder()
+	bottom := &captureLayer{} // capture what the responder sends down
+	r.SetBelow(sendCapture{bottom})
+	if err := r.Init(&neko.Context{ID: 1, Clock: eng}); err != nil {
+		t.Fatal(err)
+	}
+	r.Receive(&neko.Message{From: 2, To: 1, Type: MsgPing, Seq: 7, SentAt: 3 * time.Second})
+	if r.Replies() != 1 {
+		t.Fatalf("replies = %d, want 1", r.Replies())
+	}
+	if len(bottom.got) != 1 {
+		t.Fatal("no pong sent")
+	}
+	pong := bottom.got[0]
+	if pong.Type != MsgPong || pong.To != 2 || pong.From != 1 || pong.Seq != 7 {
+		t.Errorf("pong = %+v", pong)
+	}
+	if pong.SentAt != 3*time.Second {
+		t.Errorf("pong must echo the ping timestamp, got %v", pong.SentAt)
+	}
+	// Non-ping messages pass upward.
+	top := &captureLayer{}
+	r.SetAbove(top)
+	r.Receive(&neko.Message{Type: neko.MsgUser, Seq: 9})
+	if len(top.got) != 1 || top.got[0].Seq != 9 {
+		t.Error("non-ping not passed up")
+	}
+}
+
+// sendCapture adapts a captureLayer so it records downward Sends.
+type sendCapture struct{ c *captureLayer }
+
+func (s sendCapture) Send(m *neko.Message) { s.c.got = append(s.c.got, *m) }
+
+func TestPullEndToEndDetection(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := neko.NewSimNetwork(eng, func() (*wan.Channel, error) {
+		return wan.NewChannel(wan.ChannelConfig{Delay: &wan.ConstantDelay{D: 100 * time.Millisecond}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eta = time.Second
+	det := newPullDetector(t, eng, eta)
+	puller, err := NewPuller(1, eta, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := neko.NewProcess(2, eng, net, puller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	responder := NewResponder()
+	crash, err := NewSimCrash(200*time.Second, 20*time.Second, sim.NewRNG(3, "pull"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitored, err := neko.NewProcess(1, eng, net, responder, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := monitored.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := monitor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(400 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	monitor.Stop()
+	monitored.Stop()
+
+	if puller.Pings() < 390 {
+		t.Errorf("pings = %d, want ≈400", puller.Pings())
+	}
+	hb, _, susp := det.Stats()
+	if hb == 0 {
+		t.Fatal("no pongs reached the detector")
+	}
+	if susp == 0 {
+		t.Error("crash not detected by the pull detector")
+	}
+	if puller.Detector() != det {
+		t.Error("Detector accessor broken")
+	}
+	// The observed delay is a round trip: 200 ms with constant 100 ms
+	// links, so the steady-state timeout must be ≈ 250 ms (RTT + margin).
+	if to := det.CurrentTimeout(); to < 200 || to > 300 {
+		t.Errorf("pull timeout = %v ms, want ≈250 (RTT + margin)", to)
+	}
+}
+
+func TestRouterDispatch(t *testing.T) {
+	r := NewRouter()
+	a, b, up := &captureLayer{}, &captureLayer{}, &captureLayer{}
+	if err := r.Route(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Route(2, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Route(1, a); err == nil {
+		t.Error("duplicate route should be rejected")
+	}
+	if err := r.Route(3, nil); err == nil {
+		t.Error("nil receiver should be rejected")
+	}
+	r.SetAbove(up)
+	r.Receive(&neko.Message{From: 1, Seq: 10})
+	r.Receive(&neko.Message{From: 2, Seq: 20})
+	r.Receive(&neko.Message{From: 99, Seq: 30}) // unrouted → up
+	if len(a.got) != 1 || a.got[0].Seq != 10 {
+		t.Errorf("route 1 got %v", a.got)
+	}
+	if len(b.got) != 1 || b.got[0].Seq != 20 {
+		t.Errorf("route 2 got %v", b.got)
+	}
+	if len(up.got) != 1 || up.got[0].Seq != 30 {
+		t.Errorf("unrouted got %v", up.got)
+	}
+}

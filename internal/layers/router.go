@@ -1,0 +1,51 @@
+package layers
+
+import (
+	"fmt"
+	"sync"
+
+	"wanfd/internal/neko"
+)
+
+// Router dispatches upward traffic to per-source receivers: the monitor-
+// side layer that lets one process watch many monitored processes over a
+// single network attachment, keeping one failure detector per peer.
+// Messages from unrouted sources pass up the stack unchanged.
+type Router struct {
+	neko.Base
+	mu     sync.RWMutex
+	routes map[neko.ProcessID]neko.Receiver
+}
+
+// NewRouter builds an empty router.
+func NewRouter() *Router {
+	return &Router{routes: make(map[neko.ProcessID]neko.Receiver)}
+}
+
+var _ neko.Layer = (*Router)(nil)
+
+// Route installs the receiver for messages from one source process.
+func (r *Router) Route(from neko.ProcessID, rcv neko.Receiver) error {
+	if rcv == nil {
+		return fmt.Errorf("layers: nil receiver for source %d", from)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.routes[from]; dup {
+		return fmt.Errorf("layers: source %d already routed", from)
+	}
+	r.routes[from] = rcv
+	return nil
+}
+
+// Receive dispatches by the message's source.
+func (r *Router) Receive(m *neko.Message) {
+	r.mu.RLock()
+	rcv, ok := r.routes[m.From]
+	r.mu.RUnlock()
+	if ok {
+		rcv.Receive(m)
+		return
+	}
+	r.Base.Receive(m)
+}

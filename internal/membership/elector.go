@@ -1,0 +1,159 @@
+// Package membership builds the paper's motivating upper layer: a
+// failure-detector-driven leader election (the rotating-coordinator pattern
+// of Chandra–Toueg-style algorithms, the paper's group-membership example
+// from §2.1). It exposes, at the application level, exactly the trade-off
+// the paper studies: a fast detector shortens failover after a real crash,
+// an accurate detector avoids spurious leader changes.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wanfd/internal/neko"
+)
+
+// LeaderChange records one leader transition.
+type LeaderChange struct {
+	// At is when the transition happened.
+	At time.Duration
+	// From and To are the old and new leaders; From is NoLeader for the
+	// initial election and To is NoLeader when no member is trusted.
+	From, To neko.ProcessID
+}
+
+// NoLeader is the leader value when every member is suspected.
+const NoLeader neko.ProcessID = -1
+
+// Elector computes the leader as the smallest member id not currently
+// suspected — the Ω-style rule. It is driven by per-member Suspect/Trust
+// transitions (typically wired to one failure detector per member) and is
+// safe for concurrent use.
+type Elector struct {
+	mu        sync.Mutex
+	members   []neko.ProcessID
+	suspected map[neko.ProcessID]bool
+	leader    neko.ProcessID
+	history   []LeaderChange
+}
+
+// NewElector builds an elector over the member set. The initial leader is
+// the smallest member (all start trusted).
+func NewElector(members []neko.ProcessID) (*Elector, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("membership: empty member set")
+	}
+	ms := make([]neko.ProcessID, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	for i := 1; i < len(ms); i++ {
+		if ms[i] == ms[i-1] {
+			return nil, fmt.Errorf("membership: duplicate member %d", ms[i])
+		}
+	}
+	e := &Elector{
+		members:   ms,
+		suspected: make(map[neko.ProcessID]bool, len(ms)),
+		leader:    ms[0],
+	}
+	e.history = append(e.history, LeaderChange{At: 0, From: NoLeader, To: ms[0]})
+	return e, nil
+}
+
+// Suspect marks a member suspected at time at.
+func (e *Elector) Suspect(id neko.ProcessID, at time.Duration) {
+	e.setState(id, true, at)
+}
+
+// Trust marks a member trusted again at time at.
+func (e *Elector) Trust(id neko.ProcessID, at time.Duration) {
+	e.setState(id, false, at)
+}
+
+func (e *Elector) setState(id neko.ProcessID, suspected bool, at time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.isMember(id) {
+		return
+	}
+	if e.suspected[id] == suspected {
+		return
+	}
+	e.suspected[id] = suspected
+	newLeader := e.computeLeader()
+	if newLeader != e.leader {
+		e.history = append(e.history, LeaderChange{At: at, From: e.leader, To: newLeader})
+		e.leader = newLeader
+	}
+}
+
+func (e *Elector) isMember(id neko.ProcessID) bool {
+	for _, m := range e.members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Elector) computeLeader() neko.ProcessID {
+	for _, m := range e.members {
+		if !e.suspected[m] {
+			return m
+		}
+	}
+	return NoLeader
+}
+
+// Leader returns the current leader (NoLeader if all suspected).
+func (e *Elector) Leader() neko.ProcessID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.leader
+}
+
+// Suspected reports whether a member is currently suspected.
+func (e *Elector) Suspected(id neko.ProcessID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.suspected[id]
+}
+
+// Changes returns the number of leader transitions after the initial
+// election.
+func (e *Elector) Changes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.history) - 1
+}
+
+// History returns a copy of all leader transitions, including the initial
+// election.
+func (e *Elector) History() []LeaderChange {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]LeaderChange, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// MemberListener adapts one member's failure detector to the elector: it
+// implements core.SuspicionListener for the detector monitoring member ID.
+type MemberListener struct {
+	// Elector receives the transitions.
+	Elector *Elector
+	// Member is the monitored member's id.
+	Member neko.ProcessID
+}
+
+// OnSuspect implements core.SuspicionListener.
+func (l MemberListener) OnSuspect(_ string, at time.Duration) {
+	l.Elector.Suspect(l.Member, at)
+}
+
+// OnTrust implements core.SuspicionListener.
+func (l MemberListener) OnTrust(_ string, at time.Duration) {
+	l.Elector.Trust(l.Member, at)
+}

@@ -1,0 +1,226 @@
+package membership
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/neko"
+)
+
+func TestElectorValidation(t *testing.T) {
+	if _, err := NewElector(nil); err == nil {
+		t.Error("empty member set should be rejected")
+	}
+	if _, err := NewElector([]neko.ProcessID{1, 2, 1}); err == nil {
+		t.Error("duplicate members should be rejected")
+	}
+}
+
+func TestElectorInitialLeader(t *testing.T) {
+	e, err := NewElector([]neko.ProcessID{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Leader() != 1 {
+		t.Errorf("initial leader = %d, want smallest member 1", e.Leader())
+	}
+	if e.Changes() != 0 {
+		t.Errorf("changes = %d, want 0", e.Changes())
+	}
+	if len(e.History()) != 1 {
+		t.Errorf("history = %v, want initial election only", e.History())
+	}
+}
+
+func TestElectorFailover(t *testing.T) {
+	e, err := NewElector([]neko.ProcessID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Suspect(1, time.Second)
+	if e.Leader() != 2 {
+		t.Errorf("leader = %d, want 2 after suspecting 1", e.Leader())
+	}
+	e.Suspect(2, 2*time.Second)
+	if e.Leader() != 3 {
+		t.Errorf("leader = %d, want 3", e.Leader())
+	}
+	e.Suspect(3, 3*time.Second)
+	if e.Leader() != NoLeader {
+		t.Errorf("leader = %d, want NoLeader with all suspected", e.Leader())
+	}
+	e.Trust(2, 4*time.Second)
+	if e.Leader() != 2 {
+		t.Errorf("leader = %d, want 2 after trust", e.Leader())
+	}
+	if e.Changes() != 4 {
+		t.Errorf("changes = %d, want 4", e.Changes())
+	}
+	h := e.History()
+	if h[1].From != 1 || h[1].To != 2 || h[1].At != time.Second {
+		t.Errorf("first change = %+v", h[1])
+	}
+}
+
+func TestElectorIgnoresNonMembersAndDuplicates(t *testing.T) {
+	e, err := NewElector([]neko.ProcessID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Suspect(99, time.Second) // not a member
+	if e.Leader() != 1 || e.Changes() != 0 {
+		t.Error("non-member suspicion changed state")
+	}
+	e.Suspect(1, time.Second)
+	e.Suspect(1, 2*time.Second) // duplicate
+	if e.Changes() != 1 {
+		t.Errorf("changes = %d, want 1 (duplicate suppressed)", e.Changes())
+	}
+	e.Trust(2, 3*time.Second) // already trusted
+	if e.Changes() != 1 {
+		t.Errorf("changes = %d, want 1", e.Changes())
+	}
+}
+
+func TestElectorSuspectedQuery(t *testing.T) {
+	e, err := NewElector([]neko.ProcessID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Suspected(1) {
+		t.Error("members start trusted")
+	}
+	e.Suspect(1, time.Second)
+	if !e.Suspected(1) {
+		t.Error("suspect not recorded")
+	}
+}
+
+// Property: the leader is always the smallest trusted member (or NoLeader),
+// under any sequence of suspect/trust transitions.
+func TestElectorLeaderInvariantProperty(t *testing.T) {
+	members := []neko.ProcessID{1, 2, 3, 4, 5}
+	f := func(ops []uint8) bool {
+		e, err := NewElector(members)
+		if err != nil {
+			return false
+		}
+		state := map[neko.ProcessID]bool{}
+		for i, op := range ops {
+			id := members[int(op)%len(members)]
+			suspect := op%2 == 0
+			at := time.Duration(i) * time.Second
+			if suspect {
+				e.Suspect(id, at)
+				state[id] = true
+			} else {
+				e.Trust(id, at)
+				state[id] = false
+			}
+			want := NoLeader
+			for _, m := range members {
+				if !state[m] {
+					want = m
+					break
+				}
+			}
+			if e.Leader() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemberListenerAdapts(t *testing.T) {
+	e, err := NewElector([]neko.ProcessID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := MemberListener{Elector: e, Member: 1}
+	l.OnSuspect("whatever", time.Second)
+	if e.Leader() != 2 {
+		t.Errorf("leader = %d, want 2", e.Leader())
+	}
+	l.OnTrust("whatever", 2*time.Second)
+	if e.Leader() != 1 {
+		t.Errorf("leader = %d, want 1", e.Leader())
+	}
+}
+
+func TestRunGroupValidation(t *testing.T) {
+	if _, err := RunGroup(GroupConfig{Members: []neko.ProcessID{1}}); err == nil {
+		t.Error("single member should be rejected")
+	}
+	if _, err := RunGroup(GroupConfig{
+		Members: []neko.ProcessID{1, 2},
+		Combo:   core.Combo{Predictor: "LAST", Margin: "JAC_med"},
+	}); err == nil {
+		t.Error("zero durations should be rejected")
+	}
+}
+
+func TestRunGroupDetectsLeaderCrash(t *testing.T) {
+	res, err := RunGroup(GroupConfig{
+		Members: []neko.ProcessID{1, 2, 3},
+		Combo:   core.Combo{Predictor: "LAST", Margin: "JAC_med"},
+		Eta:     time.Second,
+		Seed:    21,
+		MTTC:    120 * time.Second,
+		TTR:     20 * time.Second,
+		Horizon: 600 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes == 0 {
+		t.Fatal("no leader crashes in 10 minutes with MTTC=2min")
+	}
+	if len(res.FailoverMs) == 0 {
+		t.Fatal("no failover recorded despite crashes")
+	}
+	for _, f := range res.FailoverMs {
+		// Failover must take at least η (freshness) and comfortably less
+		// than the repair time.
+		if f < 100 || f > 25000 {
+			t.Errorf("failover %v ms implausible", f)
+		}
+	}
+	if res.Changes == 0 {
+		t.Error("no leader changes recorded")
+	}
+}
+
+// The application-level consequence of the paper's accuracy results: an
+// aggressive detector (accurate predictor + error-driven tight margin)
+// causes at least as many spurious leader changes as a conservative one
+// (wide network-driven margin).
+func TestRunGroupAccuracyTradeoff(t *testing.T) {
+	run := func(combo core.Combo) *GroupResult {
+		t.Helper()
+		res, err := RunGroup(GroupConfig{
+			Members: []neko.ProcessID{1, 2},
+			Combo:   combo,
+			Eta:     time.Second,
+			Seed:    22,
+			MTTC:    2000 * time.Second, // effectively crash-free horizon
+			TTR:     30 * time.Second,
+			Horizon: 900 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	aggressive := run(core.Combo{Predictor: "ARIMA", Margin: "JAC_low"})
+	conservative := run(core.Combo{Predictor: "ARIMA", Margin: "CI_high"})
+	if aggressive.SpuriousChanges < conservative.SpuriousChanges {
+		t.Errorf("aggressive detector (%d spurious) should not beat conservative (%d)",
+			aggressive.SpuriousChanges, conservative.SpuriousChanges)
+	}
+}

@@ -1,0 +1,70 @@
+package nekostat
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// eventJSON is the wire form of one event: one JSON object per line.
+type eventJSON struct {
+	Kind    string `json:"kind"`
+	AtNanos int64  `json:"atNanos"`
+	Source  string `json:"source,omitempty"`
+	Seq     int64  `json:"seq,omitempty"`
+}
+
+// WriteEvents encodes events as JSON Lines, one event per line — the raw
+// timeline of an experiment run, for post-hoc analysis outside this
+// library.
+func WriteEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range events {
+		if err := enc.Encode(eventJSON{
+			Kind:    e.Kind.String(),
+			AtNanos: int64(e.At),
+			Source:  e.Source,
+			Seq:     e.Seq,
+		}); err != nil {
+			return fmt.Errorf("nekostat: encode event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// parseKind inverts Kind.String.
+func parseKind(s string) (Kind, error) {
+	for k := KindSent; k <= KindRestore; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("nekostat: unknown event kind %q", s)
+}
+
+// ReadEvents decodes a JSON Lines event log written by WriteEvents.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for i := 0; ; i++ {
+		var ej eventJSON
+		if err := dec.Decode(&ej); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("nekostat: decode event %d: %w", i, err)
+		}
+		k, err := parseKind(ej.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("nekostat: event %d: %w", i, err)
+		}
+		out = append(out, Event{
+			Kind:   k,
+			At:     time.Duration(ej.AtNanos),
+			Source: ej.Source,
+			Seq:    ej.Seq,
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package nekostat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventsJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindCrash, At: 100 * time.Second},
+		{Kind: KindStartSuspect, At: 101 * time.Second, Source: "LAST+JAC_med"},
+		{Kind: KindRestore, At: 130 * time.Second},
+		{Kind: KindEndSuspect, At: 130*time.Second + 300*time.Millisecond, Source: "LAST+JAC_med"},
+		{Kind: KindSent, At: time.Second, Seq: 42},
+		{Kind: KindReceived, At: time.Second + 200*time.Millisecond, Seq: 42},
+	}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(events) {
+		t.Errorf("lines = %d, want %d", lines, len(events))
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len = %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadEventsErrors(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader(`{"kind":"Nope","atNanos":1}`)); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := ReadEvents(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed line should fail")
+	}
+	got, err := ReadEvents(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestMergeQoSDirect(t *testing.T) {
+	mk := func(tds, tms, tmrs []float64, crashes, detected, mistakes int, up, mt time.Duration) QoS {
+		return QoS{
+			Detector: "d", RawTD: tds, RawTM: tms, RawTMR: tmrs,
+			Crashes: crashes, Detected: detected, Mistakes: mistakes,
+			UpTime: up, MistakeTime: mt,
+		}
+	}
+	a := mk([]float64{100, 200}, []float64{10}, []float64{1000}, 2, 2, 1, 100*time.Second, time.Second)
+	b := mk([]float64{300}, []float64{30}, []float64{3000}, 1, 1, 1, 100*time.Second, 3*time.Second)
+	m, err := MergeQoS([]QoS{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Crashes != 3 || m.Detected != 3 || m.Mistakes != 2 {
+		t.Errorf("counts: %+v", m)
+	}
+	if m.TD.N != 3 || m.TD.Mean != 200 {
+		t.Errorf("TD = %+v, want mean 200 over 3", m.TD)
+	}
+	if m.TM.Mean != 20 || m.TMR.Mean != 2000 {
+		t.Errorf("TM/TMR = %v/%v", m.TM.Mean, m.TMR.Mean)
+	}
+	wantPA := (2000.0 - 20.0) / 2000.0
+	if m.PA != wantPA {
+		t.Errorf("PA = %v, want %v", m.PA, wantPA)
+	}
+	wantTimeline := 1 - float64(4*time.Second)/float64(200*time.Second)
+	if m.PATimeline != wantTimeline {
+		t.Errorf("PATimeline = %v, want %v", m.PATimeline, wantTimeline)
+	}
+}
+
+func TestMergeQoSErrors(t *testing.T) {
+	if _, err := MergeQoS(nil); err == nil {
+		t.Error("empty merge should fail")
+	}
+	if _, err := MergeQoS([]QoS{{Detector: "a"}, {Detector: "b"}}); err == nil {
+		t.Error("mismatched detectors should fail")
+	}
+}
+
+func TestMergeQoSNoMistakes(t *testing.T) {
+	m, err := MergeQoS([]QoS{{Detector: "d", UpTime: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PA != 1 {
+		t.Errorf("PA = %v, want 1 with no mistakes", m.PA)
+	}
+	if m.PATimeline != 1 {
+		t.Errorf("PATimeline = %v, want 1", m.PATimeline)
+	}
+}
+
+func TestMergeQoSSingleMistakeFallsBackToTimeline(t *testing.T) {
+	m, err := MergeQoS([]QoS{{
+		Detector: "d", Mistakes: 1, RawTM: []float64{500},
+		UpTime: 100 * time.Second, MistakeTime: 500 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 0.5/100
+	if m.PA != want {
+		t.Errorf("PA = %v, want timeline fallback %v", m.PA, want)
+	}
+}

@@ -1,0 +1,292 @@
+package nekostat
+
+import (
+	"fmt"
+	"time"
+
+	"wanfd/internal/stats"
+)
+
+// QoS aggregates the paper's failure-detector QoS metrics for one detector
+// over one experiment run. All duration statistics are in milliseconds, the
+// unit of the paper's figures.
+type QoS struct {
+	// Detector names the predictor+margin combination.
+	Detector string
+
+	// TD summarizes the detection times (one sample per detected crash).
+	TD stats.Summary
+	// TDU is the maximum observed detection time (the paper's T_D^U).
+	TDU float64
+	// TM summarizes mistake durations.
+	TM stats.Summary
+	// TMR summarizes mistake recurrence times.
+	TMR stats.Summary
+	// PA is the query accuracy probability derived as the paper derives
+	// it, (mean T_MR − mean T_M) / mean T_MR. It is 1 when no mistakes
+	// occurred.
+	PA float64
+	// PATimeline is the fraction of process-up time during which the
+	// detector's output was correct, measured directly on the timeline
+	// (an availability-style cross-check of PA).
+	PATimeline float64
+
+	// Crashes, Detected and Missed count injected crashes, crashes whose
+	// restore instant was covered by a suspicion (permanently detected),
+	// and the rest.
+	Crashes, Detected, Missed int
+	// Mistakes counts false-suspicion episodes while the process was up.
+	Mistakes int
+
+	// RawTD, RawTM and RawTMR hold the individual samples (ms) behind the
+	// summaries, so several experiment runs can be merged sample-exactly.
+	RawTD, RawTM, RawTMR []float64
+
+	// UpTime and MistakeTime are the timeline totals behind PATimeline.
+	UpTime, MistakeTime time.Duration
+}
+
+// ComputeQoS derives the QoS metrics of one detector from its suspicion
+// intervals and the injected crash intervals, over the observation window
+// [windowStart, windowEnd].
+//
+// Conventions (matching §2.1 of the paper and Chen et al.):
+//
+//   - The "permanent" suspicion for a crash is the suspicion interval that
+//     is still active at the restore instant — with a push detector, only a
+//     post-restore heartbeat can end it. T_D is its start minus the crash
+//     instant, clamped at 0 if the detector was already (mistakenly)
+//     suspecting when the crash happened.
+//   - A suspicion interval overlapping any crash period belongs to
+//     detection; every other interval is a mistake. T_M is its duration.
+//   - T_MR is the gap between consecutive mistake starts with no crash in
+//     between.
+//   - Open intervals at the window end are not counted as mistakes (their
+//     duration is unknown).
+func ComputeQoS(detector string, suspicions, crashes []Interval, windowStart, windowEnd time.Duration) (QoS, error) {
+	if windowEnd <= windowStart {
+		return QoS{}, fmt.Errorf("nekostat: empty window [%v, %v]", windowStart, windowEnd)
+	}
+	// Intervals entirely before the window (bootstrap transients) are out
+	// of scope.
+	suspicions = dropBefore(suspicions, windowStart)
+	crashes = dropBefore(crashes, windowStart)
+	q := QoS{Detector: detector, Crashes: len(crashes)}
+
+	// Detection times.
+	var tds []float64
+	for _, cr := range crashes {
+		if cr.Open {
+			// Crash not restored within the window: detection cannot be
+			// classified as permanent.
+			q.Crashes--
+			continue
+		}
+		detected := false
+		for _, s := range suspicions {
+			if s.Covers(cr.End) && s.Start <= cr.End {
+				td := s.Start - cr.Start
+				if td < 0 {
+					td = 0
+				}
+				tds = append(tds, durToMs(td))
+				detected = true
+				break
+			}
+		}
+		if detected {
+			q.Detected++
+		} else {
+			q.Missed++
+		}
+	}
+	if len(tds) > 0 {
+		sum, err := stats.Summarize(tds)
+		if err != nil {
+			return QoS{}, err
+		}
+		q.TD = sum
+		q.TDU = sum.Max
+	}
+
+	// Mistakes: suspicion intervals not overlapping any crash period.
+	var tms []float64
+	var mistakes []Interval
+	for _, s := range suspicions {
+		if s.Open {
+			continue
+		}
+		overlapsCrash := false
+		for _, cr := range crashes {
+			if s.Overlaps(cr) || s.Covers(cr.End) {
+				overlapsCrash = true
+				break
+			}
+		}
+		if overlapsCrash {
+			continue
+		}
+		mistakes = append(mistakes, s)
+		tms = append(tms, durToMs(s.Duration()))
+	}
+	q.Mistakes = len(mistakes)
+	if len(tms) > 0 {
+		sum, err := stats.Summarize(tms)
+		if err != nil {
+			return QoS{}, err
+		}
+		q.TM = sum
+	}
+
+	// Mistake recurrence: consecutive mistake starts with no crash between.
+	var tmrs []float64
+	for i := 1; i < len(mistakes); i++ {
+		prev, cur := mistakes[i-1], mistakes[i]
+		crashBetween := false
+		for _, cr := range crashes {
+			if cr.Start >= prev.Start && cr.Start <= cur.Start {
+				crashBetween = true
+				break
+			}
+		}
+		if crashBetween {
+			continue
+		}
+		tmrs = append(tmrs, durToMs(cur.Start-prev.Start))
+	}
+	if len(tmrs) > 0 {
+		sum, err := stats.Summarize(tmrs)
+		if err != nil {
+			return QoS{}, err
+		}
+		q.TMR = sum
+	}
+
+	// P_A as the paper derives it from the two accuracy metrics.
+	switch {
+	case q.TMR.N > 0 && q.TMR.Mean > 0:
+		q.PA = (q.TMR.Mean - q.TM.Mean) / q.TMR.Mean
+	case q.Mistakes == 0:
+		q.PA = 1
+	default:
+		// Mistakes occurred but never two in a row without a crash; fall
+		// back to the timeline measure below.
+		q.PA = -1
+	}
+
+	// Timeline P_A: fraction of up time not covered by mistakes.
+	upTime := windowEnd - windowStart
+	for _, cr := range crashes {
+		upTime -= clampSpan(cr, windowStart, windowEnd)
+	}
+	var mistakeTime time.Duration
+	for _, m := range mistakes {
+		mistakeTime += clampSpan(m, windowStart, windowEnd)
+	}
+	if upTime > 0 {
+		q.PATimeline = 1 - float64(mistakeTime)/float64(upTime)
+	}
+	if q.PA < 0 {
+		q.PA = q.PATimeline
+	}
+	q.RawTD, q.RawTM, q.RawTMR = tds, tms, tmrs
+	q.UpTime, q.MistakeTime = upTime, mistakeTime
+	return q, nil
+}
+
+// MergeQoS combines the QoS of the same detector across several runs by
+// pooling the raw samples — the paper's 13 experiment runs are reported as
+// one set of per-detector values.
+func MergeQoS(runs []QoS) (QoS, error) {
+	if len(runs) == 0 {
+		return QoS{}, fmt.Errorf("nekostat: no runs to merge")
+	}
+	m := QoS{Detector: runs[0].Detector}
+	for _, r := range runs {
+		if r.Detector != m.Detector {
+			return QoS{}, fmt.Errorf("nekostat: merging %q with %q", m.Detector, r.Detector)
+		}
+		m.Crashes += r.Crashes
+		m.Detected += r.Detected
+		m.Missed += r.Missed
+		m.Mistakes += r.Mistakes
+		m.RawTD = append(m.RawTD, r.RawTD...)
+		m.RawTM = append(m.RawTM, r.RawTM...)
+		m.RawTMR = append(m.RawTMR, r.RawTMR...)
+		m.UpTime += r.UpTime
+		m.MistakeTime += r.MistakeTime
+	}
+	if len(m.RawTD) > 0 {
+		sum, err := stats.Summarize(m.RawTD)
+		if err != nil {
+			return QoS{}, err
+		}
+		m.TD = sum
+		m.TDU = sum.Max
+	}
+	if len(m.RawTM) > 0 {
+		sum, err := stats.Summarize(m.RawTM)
+		if err != nil {
+			return QoS{}, err
+		}
+		m.TM = sum
+	}
+	if len(m.RawTMR) > 0 {
+		sum, err := stats.Summarize(m.RawTMR)
+		if err != nil {
+			return QoS{}, err
+		}
+		m.TMR = sum
+	}
+	if m.UpTime > 0 {
+		m.PATimeline = 1 - float64(m.MistakeTime)/float64(m.UpTime)
+	}
+	switch {
+	case m.TMR.N > 0 && m.TMR.Mean > 0:
+		m.PA = (m.TMR.Mean - m.TM.Mean) / m.TMR.Mean
+	case m.Mistakes == 0:
+		m.PA = 1
+	default:
+		m.PA = m.PATimeline
+	}
+	return m, nil
+}
+
+// dropBefore removes intervals that end before t.
+func dropBefore(ivs []Interval, t time.Duration) []Interval {
+	if t <= 0 {
+		return ivs
+	}
+	out := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if iv.End >= t {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// clampSpan returns the portion of iv inside [lo, hi].
+func clampSpan(iv Interval, lo, hi time.Duration) time.Duration {
+	s, e := iv.Start, iv.End
+	if s < lo {
+		s = lo
+	}
+	if e > hi {
+		e = hi
+	}
+	if e <= s {
+		return 0
+	}
+	return e - s
+}
+
+// QoSFromEvents is a convenience wrapper extracting a detector's intervals
+// from a collector's sorted event list and computing its QoS.
+func QoSFromEvents(events []Event, detector string, windowStart, windowEnd time.Duration) (QoS, error) {
+	susp := SuspicionIntervals(events, detector, windowEnd)
+	crashes := CrashIntervals(events, windowEnd)
+	return ComputeQoS(detector, susp, crashes, windowStart, windowEnd)
+}
+
+func durToMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,345 @@
+package nekostat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindSent: "Sent", KindReceived: "Received",
+		KindStartSuspect: "StartSuspect", KindEndSuspect: "EndSuspect",
+		KindCrash: "Crash", KindRestore: "Restore",
+		Kind(99): "Unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestCollectorSortsAndCopies(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{Kind: KindCrash, At: sec(5)})
+	c.OnSuspect("d", sec(2))
+	c.OnTrust("d", sec(3))
+	c.OnRestore(sec(7))
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	evs := c.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events not sorted by time")
+		}
+	}
+	evs[0].At = sec(100) // mutating the copy must not affect the collector
+	if c.Events()[0].At == sec(100) {
+		t.Error("Events returned internal slice")
+	}
+}
+
+func TestSuspicionIntervals(t *testing.T) {
+	events := []Event{
+		{Kind: KindStartSuspect, At: sec(1), Source: "a"},
+		{Kind: KindStartSuspect, At: sec(1.5), Source: "b"}, // other detector
+		{Kind: KindEndSuspect, At: sec(2), Source: "a"},
+		{Kind: KindStartSuspect, At: sec(5), Source: "a"},
+	}
+	ivs := SuspicionIntervals(events, "a", sec(10))
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %v, want 2", ivs)
+	}
+	if ivs[0].Start != sec(1) || ivs[0].End != sec(2) || ivs[0].Open {
+		t.Errorf("first interval = %+v", ivs[0])
+	}
+	if ivs[1].Start != sec(5) || ivs[1].End != sec(10) || !ivs[1].Open {
+		t.Errorf("open interval = %+v", ivs[1])
+	}
+}
+
+func TestSuspicionIntervalsIgnoresSpuriousTransitions(t *testing.T) {
+	events := []Event{
+		{Kind: KindEndSuspect, At: sec(1), Source: "a"}, // end without start
+		{Kind: KindStartSuspect, At: sec(2), Source: "a"},
+		{Kind: KindStartSuspect, At: sec(3), Source: "a"}, // duplicate start
+		{Kind: KindEndSuspect, At: sec(4), Source: "a"},
+	}
+	ivs := SuspicionIntervals(events, "a", sec(10))
+	if len(ivs) != 1 || ivs[0].Start != sec(2) || ivs[0].End != sec(4) {
+		t.Errorf("intervals = %v, want one [2s,4s]", ivs)
+	}
+}
+
+func TestCrashIntervals(t *testing.T) {
+	events := []Event{
+		{Kind: KindCrash, At: sec(10)},
+		{Kind: KindRestore, At: sec(40)},
+		{Kind: KindCrash, At: sec(100)},
+	}
+	ivs := CrashIntervals(events, sec(120))
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %v, want 2", ivs)
+	}
+	if ivs[0].Start != sec(10) || ivs[0].End != sec(40) {
+		t.Errorf("first crash = %+v", ivs[0])
+	}
+	if !ivs[1].Open {
+		t.Error("unfinished crash should be open")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Start: sec(1), End: sec(3)}
+	if iv.Duration() != sec(2) {
+		t.Errorf("duration = %v", iv.Duration())
+	}
+	if !iv.Covers(sec(1)) || !iv.Covers(sec(3)) || iv.Covers(sec(3.1)) {
+		t.Error("Covers edges wrong")
+	}
+	if !iv.Overlaps(Interval{Start: sec(2), End: sec(5)}) {
+		t.Error("should overlap")
+	}
+	if iv.Overlaps(Interval{Start: sec(3), End: sec(5)}) {
+		t.Error("touching intervals should not overlap")
+	}
+}
+
+func TestComputeQoSDetection(t *testing.T) {
+	// One crash at 100 s restored at 130 s; detector suspects at 101.2 s
+	// and trusts again at 130.3 s.
+	crashes := []Interval{{Start: sec(100), End: sec(130)}}
+	susp := []Interval{{Start: sec(101.2), End: sec(130.3)}}
+	q, err := ComputeQoS("d", susp, crashes, 0, sec(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Crashes != 1 || q.Detected != 1 || q.Missed != 0 {
+		t.Errorf("crashes/detected/missed = %d/%d/%d", q.Crashes, q.Detected, q.Missed)
+	}
+	if math.Abs(q.TD.Mean-1200) > 1e-6 {
+		t.Errorf("TD mean = %v ms, want 1200", q.TD.Mean)
+	}
+	if q.TDU != q.TD.Mean {
+		t.Errorf("TDU = %v, want equal to the single TD", q.TDU)
+	}
+	if q.Mistakes != 0 {
+		t.Errorf("mistakes = %d, want 0 (the detection interval is not a mistake)", q.Mistakes)
+	}
+	if q.PA != 1 {
+		t.Errorf("PA = %v, want 1 with no mistakes", q.PA)
+	}
+}
+
+func TestComputeQoSAlreadySuspectingAtCrash(t *testing.T) {
+	// Mistake starting before the crash that persists to restore: TD = 0.
+	crashes := []Interval{{Start: sec(50), End: sec(80)}}
+	susp := []Interval{{Start: sec(49), End: sec(80.2)}}
+	q, err := ComputeQoS("d", susp, crashes, 0, sec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Detected != 1 || q.TD.Mean != 0 {
+		t.Errorf("detected=%d TD=%v, want clamped to 0", q.Detected, q.TD.Mean)
+	}
+}
+
+func TestComputeQoSMissedCrash(t *testing.T) {
+	// The detector's timeout is so long it never suspects during the
+	// crash.
+	crashes := []Interval{{Start: sec(50), End: sec(80)}}
+	q, err := ComputeQoS("d", nil, crashes, 0, sec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Detected != 0 || q.Missed != 1 {
+		t.Errorf("detected/missed = %d/%d, want 0/1", q.Detected, q.Missed)
+	}
+	if q.TD.N != 0 {
+		t.Errorf("TD.N = %d, want 0", q.TD.N)
+	}
+}
+
+func TestComputeQoSMistakesAndRecurrence(t *testing.T) {
+	// Three mistakes at 10, 40 and 100 s of durations 1, 2 and 3 s; no
+	// crash. TMR samples: 30 s and 60 s.
+	susp := []Interval{
+		{Start: sec(10), End: sec(11)},
+		{Start: sec(40), End: sec(42)},
+		{Start: sec(100), End: sec(103)},
+	}
+	q, err := ComputeQoS("d", susp, nil, 0, sec(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mistakes != 3 {
+		t.Fatalf("mistakes = %d, want 3", q.Mistakes)
+	}
+	if math.Abs(q.TM.Mean-2000) > 1e-6 {
+		t.Errorf("TM mean = %v ms, want 2000", q.TM.Mean)
+	}
+	if q.TMR.N != 2 || math.Abs(q.TMR.Mean-45000) > 1e-6 {
+		t.Errorf("TMR = %+v, want mean 45000 ms over 2 samples", q.TMR)
+	}
+	wantPA := (45000.0 - 2000.0) / 45000.0
+	if math.Abs(q.PA-wantPA) > 1e-9 {
+		t.Errorf("PA = %v, want %v", q.PA, wantPA)
+	}
+	// Timeline PA: 6 s of mistakes in a 200 s window.
+	wantTimeline := 1 - 6.0/200.0
+	if math.Abs(q.PATimeline-wantTimeline) > 1e-9 {
+		t.Errorf("PATimeline = %v, want %v", q.PATimeline, wantTimeline)
+	}
+}
+
+func TestComputeQoSRecurrenceSkipsCrashBoundary(t *testing.T) {
+	// Mistakes before and after a crash: the pair straddling the crash
+	// contributes no TMR sample.
+	crashes := []Interval{{Start: sec(50), End: sec(60)}}
+	susp := []Interval{
+		{Start: sec(10), End: sec(11)},
+		{Start: sec(20), End: sec(21)},
+		{Start: sec(52), End: sec(60.5)}, // detection (covers restore)
+		{Start: sec(70), End: sec(71)},
+		{Start: sec(90), End: sec(91)},
+	}
+	q, err := ComputeQoS("d", susp, crashes, 0, sec(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mistakes != 4 {
+		t.Fatalf("mistakes = %d, want 4 (detection excluded)", q.Mistakes)
+	}
+	if q.TMR.N != 2 {
+		t.Errorf("TMR samples = %d, want 2 (10s and 20s gaps, crash boundary skipped)", q.TMR.N)
+	}
+	if math.Abs(q.TMR.Mean-15000) > 1e-6 {
+		t.Errorf("TMR mean = %v, want 15000 ms", q.TMR.Mean)
+	}
+}
+
+func TestComputeQoSOpenIntervalsNotMistakes(t *testing.T) {
+	susp := []Interval{{Start: sec(90), End: sec(100), Open: true}}
+	q, err := ComputeQoS("d", susp, nil, 0, sec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mistakes != 0 {
+		t.Errorf("open interval counted as mistake")
+	}
+}
+
+func TestComputeQoSOpenCrashSkipped(t *testing.T) {
+	crashes := []Interval{{Start: sec(90), End: sec(100), Open: true}}
+	q, err := ComputeQoS("d", nil, crashes, 0, sec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Crashes != 0 || q.Missed != 0 {
+		t.Errorf("open crash should be excluded: %+v", q)
+	}
+}
+
+func TestComputeQoSWindowValidation(t *testing.T) {
+	if _, err := ComputeQoS("d", nil, nil, sec(10), sec(10)); err == nil {
+		t.Error("empty window should be rejected")
+	}
+}
+
+func TestComputeQoSSingleMistakePAFallsBackToTimeline(t *testing.T) {
+	susp := []Interval{{Start: sec(10), End: sec(20)}}
+	q, err := ComputeQoS("d", susp, nil, 0, sec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 10.0/100.0
+	if math.Abs(q.PA-want) > 1e-9 || math.Abs(q.PATimeline-want) > 1e-9 {
+		t.Errorf("PA = %v / timeline %v, want fallback %v", q.PA, q.PATimeline, want)
+	}
+}
+
+func TestQoSFromEvents(t *testing.T) {
+	c := NewCollector()
+	c.OnCrash(sec(100))
+	c.OnSuspect("d", sec(101))
+	c.OnRestore(sec(130))
+	c.OnTrust("d", sec(130.3))
+	c.OnSuspect("d", sec(10)) // a mistake earlier on
+	c.OnTrust("d", sec(11))
+	q, err := QoSFromEvents(c.Events(), "d", 0, sec(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Detected != 1 {
+		t.Errorf("detected = %d, want 1", q.Detected)
+	}
+	if math.Abs(q.TD.Mean-1000) > 1e-6 {
+		t.Errorf("TD = %v, want 1000 ms", q.TD.Mean)
+	}
+	if q.Mistakes != 1 {
+		t.Errorf("mistakes = %d, want 1", q.Mistakes)
+	}
+}
+
+// Property: for any randomly generated crash and suspicion timelines, the
+// computed QoS satisfies the structural invariants of the metrics.
+func TestComputeQoSInvariantsProperty(t *testing.T) {
+	gen := func(raw []uint16, window time.Duration, maxLen time.Duration) []Interval {
+		var out []Interval
+		at := time.Duration(0)
+		for i := 0; i+1 < len(raw); i += 2 {
+			at += time.Duration(raw[i])*time.Millisecond + time.Millisecond
+			length := time.Duration(raw[i+1]) * time.Millisecond % maxLen
+			end := at + length
+			if end > window {
+				break
+			}
+			out = append(out, Interval{Start: at, End: end})
+			at = end
+		}
+		return out
+	}
+	f := func(crashRaw, suspRaw []uint16) bool {
+		window := 500 * time.Second
+		crashes := gen(crashRaw, window, 30*time.Second)
+		susp := gen(suspRaw, window, 10*time.Second)
+		q, err := ComputeQoS("d", susp, crashes, 0, window)
+		if err != nil {
+			return false
+		}
+		if q.PA < -1e-9 || q.PA > 1+1e-9 {
+			return false
+		}
+		if q.PATimeline < -1e-9 || q.PATimeline > 1+1e-9 {
+			return false
+		}
+		if q.Detected+q.Missed != q.Crashes {
+			return false
+		}
+		if q.TD.N != q.Detected {
+			return false
+		}
+		if q.Mistakes != len(q.RawTM) {
+			return false
+		}
+		// Every detection time is bounded by the crash duration (the
+		// covering suspicion starts no later than the restore).
+		for _, td := range q.RawTD {
+			if td < 0 {
+				return false
+			}
+		}
+		// TMR samples cannot outnumber mistake pairs.
+		if len(q.RawTMR) > max(0, q.Mistakes-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

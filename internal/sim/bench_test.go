@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineScheduleAndFire measures the engine's core cost: schedule
+// one event and execute it.
+func BenchmarkEngineScheduleAndFire(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.AfterFunc(time.Microsecond, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineDeepQueue measures heap behaviour with many pending
+// events: push into a 10k-deep queue and pop the earliest.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	for i := 0; i < 10000; i++ {
+		eng.AfterFunc(time.Duration(i+1)*time.Second, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.AfterFunc(time.Microsecond, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineTimerStop measures the cancel path (every fresh heartbeat
+// cancels the previous freshness timer).
+func BenchmarkEngineTimerStop(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := eng.AfterFunc(time.Second, fn)
+		t.Stop()
+		if eng.Pending() > 1024 {
+			b.StopTimer()
+			eng.RunAll()
+			b.StartTimer()
+		}
+	}
+}

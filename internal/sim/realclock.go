@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// RealClock implements Clock on top of the wall clock, measuring elapsed
+// time from its creation. It is safe for concurrent use and is the clock
+// used when the protocol stack runs on a real network.
+type RealClock struct {
+	start time.Time
+}
+
+// NewRealClock returns a RealClock whose epoch is the moment of the call.
+func NewRealClock() *RealClock {
+	return &RealClock{start: time.Now()}
+}
+
+// NewRealClockAt returns a RealClock with an explicit epoch, so several
+// components of one process can share a time base.
+func NewRealClockAt(start time.Time) *RealClock {
+	return &RealClock{start: start}
+}
+
+var _ Clock = (*RealClock)(nil)
+
+// Now returns the wall-clock time elapsed since the clock was created.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// AfterFunc schedules fn on a real timer.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &realTimer{t: time.AfterFunc(d, fn)}
+}
+
+type realTimer struct {
+	mu sync.Mutex
+	t  *time.Timer
+}
+
+func (r *realTimer) Stop() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.t.Stop()
+}

@@ -1,0 +1,18 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// NewRNG returns a deterministic random stream derived from a root seed and
+// a stream label. Distinct labels give independent streams, so each
+// stochastic component of an experiment (delay model, loss model, crash
+// injector, ...) evolves identically regardless of how many other
+// components consume randomness — a requirement for the paper's "identical
+// network conditions" fairness property across detector variants.
+func NewRNG(seed int64, stream string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(stream))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64()))) //nolint:gosec // simulation, not crypto
+}

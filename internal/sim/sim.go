@@ -1,0 +1,203 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// It plays the role of Neko's simulated-network driver in the paper: the
+// same layered failure-detector code runs either on a real network in real
+// time or inside this engine in virtual time. The engine is single-threaded
+// and fully deterministic: events at equal timestamps fire in scheduling
+// order, and all randomness comes from seeded streams (see rng.go).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrStopped is returned by Run when the engine was stopped explicitly
+// before reaching the horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer interface {
+	// Stop cancels the event. It reports whether the call prevented the
+	// event from firing (false if it already fired or was already stopped).
+	Stop() bool
+}
+
+// Clock abstracts the time source seen by protocol layers, so that the same
+// code runs in virtual (simulated) or real time.
+type Clock interface {
+	// Now returns the elapsed time since the beginning of the run.
+	Now() time.Duration
+	// AfterFunc schedules fn to run d from now and returns a cancellable
+	// handle. A non-positive d fires as soon as possible.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// event is one pending callback in the engine's queue.
+type event struct {
+	at      time.Duration
+	seq     uint64 // tie-break: FIFO among equal timestamps
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// Stop implements Timer.
+func (e *event) Stop() bool {
+	if e.stopped || e.index == -1 {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+var _ Timer = (*event)(nil)
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e, _ := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with virtual time. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with virtual time 0 and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+var _ Clock = (*Engine)(nil)
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// EventsFired returns the number of events executed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled (including
+// stopped-but-not-yet-drained ones).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// AfterFunc schedules fn to run d after the current virtual time.
+// A non-positive d schedules at the current time (fn still runs from the
+// event loop, never synchronously).
+func (e *Engine) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is
+// clamped to the current time.
+func (e *Engine) At(t time.Duration, fn func()) Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop aborts a Run in progress (effective after the current event's
+// callback returns).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing virtual time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev, _ := heap.Pop(&e.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the queue is empty or
+// virtual time would exceed horizon. Events scheduled exactly at the
+// horizon still run. Returns ErrStopped if Stop was called mid-run.
+func (e *Engine) Run(horizon time.Duration) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > horizon {
+			// Do not execute, but advance time to the horizon so
+			// repeated Runs observe monotonic time.
+			e.now = horizon
+			return nil
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// RunAll executes events until the queue is empty, with no time horizon.
+// Returns ErrStopped if Stop was called mid-run.
+func (e *Engine) RunAll() error {
+	e.stopped = false
+	for e.Step() {
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		if e.queue[0].stopped {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}

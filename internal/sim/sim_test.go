@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	e.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	e.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOAtEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var at []time.Duration
+	e.AfterFunc(time.Second, func() {
+		at = append(at, e.Now())
+		e.AfterFunc(time.Second, func() {
+			at = append(at, e.Now())
+		})
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 2 || at[0] != time.Second || at[1] != 2*time.Second {
+		t.Errorf("fire times = %v, want [1s 2s]", at)
+	}
+}
+
+func TestEngineTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("stopped event fired")
+	}
+	if e.EventsFired() != 0 {
+		t.Errorf("EventsFired = %d, want 0", e.EventsFired())
+	}
+}
+
+func TestEngineStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.AfterFunc(0, func() {})
+	if !e.Step() {
+		t.Fatal("Step should have executed the event")
+	}
+	if tm.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.AfterFunc(d, func() { fired = append(fired, d) })
+	}
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 1s and 2s only", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", e.Now())
+	}
+	// Continue past the horizon.
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Errorf("after second Run fired = %v, want 3 events", fired)
+	}
+	if e.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want horizon 10s", e.Now())
+	}
+}
+
+func TestEngineStopMidRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.AfterFunc(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	err := e.RunAll()
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	// Remaining events still runnable.
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.AfterFunc(5*time.Millisecond, func() {})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	fired := time.Duration(-1)
+	e.AfterFunc(-time.Second, func() { fired = e.Now() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5*time.Millisecond {
+		t.Errorf("negative-delay event fired at %v, want now (5ms)", fired)
+	}
+}
+
+func TestEngineAtInPastClamped(t *testing.T) {
+	e := NewEngine()
+	e.AfterFunc(time.Second, func() {})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration
+	e.At(0, func() { at = e.Now() })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != time.Second {
+		t.Errorf("past event fired at %v, want clamped to 1s", at)
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	e.AfterFunc(time.Second, func() {})
+	e.AfterFunc(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// Property: virtual time is monotone non-decreasing across any schedule.
+func TestEngineTimeMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			e.AfterFunc(time.Duration(d)*time.Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		return ok && e.EventsFired() == uint64(len(delays))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := NewRealClock()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	if c.Now() <= 0 {
+		t.Error("RealClock.Now should be positive after a timer fired")
+	}
+	tm := c.AfterFunc(time.Hour, func() {})
+	if !tm.Stop() {
+		t.Error("Stop on pending real timer should report true")
+	}
+}
+
+func TestNewRNGDeterministicAndIndependent(t *testing.T) {
+	a1 := NewRNG(42, "delay")
+	a2 := NewRNG(42, "delay")
+	b := NewRNG(42, "loss")
+	for i := 0; i < 100; i++ {
+		if a1.Int63() != a2.Int63() {
+			t.Fatal("same seed+stream must give identical sequences")
+		}
+	}
+	same := 0
+	a3 := NewRNG(42, "delay")
+	for i := 0; i < 100; i++ {
+		if a3.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("streams 'delay' and 'loss' look identical (%d/100 equal draws)", same)
+	}
+}

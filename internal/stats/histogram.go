@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Observations
+// outside the range are counted in the under/overflow bins. The zero value
+// is not usable; construct with NewHistogram.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []uint64
+	underflow uint64
+	overflow  uint64
+	total     uint64
+}
+
+// NewHistogram creates a histogram with the given number of equal-width
+// bins covering [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram bins must be positive, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]uint64, bins),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		idx := int((x - h.lo) / h.width)
+		if idx >= len(h.counts) { // guard float rounding at the top edge
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range
+// ones.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Bins returns the number of in-range bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// BinLo returns the inclusive lower edge of bin i.
+func (h *Histogram) BinLo(i int) float64 { return h.lo + float64(i)*h.width }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
+
+// Render returns a text rendering of the histogram with proportional bars,
+// suitable for experiment reports.
+func (h *Histogram) Render(barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 40
+	}
+	var peak uint64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		bar := 0
+		if peak > 0 {
+			bar = int(math.Round(float64(c) / float64(peak) * float64(barWidth)))
+		}
+		fmt.Fprintf(&b, "%10.2f..%-10.2f %8d %s\n",
+			h.BinLo(i), h.BinLo(i+1), c, strings.Repeat("#", bar))
+	}
+	if h.underflow > 0 || h.overflow > 0 {
+		fmt.Fprintf(&b, "  (underflow %d, overflow %d)\n", h.underflow, h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary ensures arbitrary input never panics the binary trace
+// reader, and that whatever it accepts round-trips.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("WFDTRC01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		delays, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, delays); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil || len(back) != len(delays) {
+			t.Fatalf("round trip failed: %v (%d vs %d)", err, len(back), len(delays))
+		}
+		for i := range delays {
+			if back[i] != delays[i] {
+				t.Fatalf("delay %d mismatch", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+// Package trace records and replays one-way delay traces, so an experiment
+// can be rerun bit-identically from a stored observation series — the role
+// the recorded RTT traces of [17] play in the paper's lineage.
+//
+// Two codecs are provided: a compact binary format (magic header, varint
+// deltas) and a one-number-per-line text format for interoperability with
+// plotting tools.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadMagic is returned when binary trace data does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad magic header")
+
+// magic identifies the binary trace format, version 1.
+var magic = [8]byte{'W', 'F', 'D', 'T', 'R', 'C', '0', '1'}
+
+// WriteBinary encodes delays to w in the compact binary format: the magic
+// header, a varint count, then varint zig-zag deltas between consecutive
+// delays (delay series are strongly correlated, so deltas are small).
+func WriteBinary(w io.Writer, delays []time.Duration) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(delays)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: write count: %w", err)
+	}
+	prev := int64(0)
+	for i, d := range delays {
+		delta := int64(d) - prev
+		prev = int64(d)
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("trace: write delay %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace written by WriteBinary.
+func ReadBinary(r io.Reader) ([]time.Duration, error) {
+	br := bufio.NewReader(r)
+	var head [8]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if head != magic {
+		return nil, ErrBadMagic
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read count: %w", err)
+	}
+	const maxTrace = 1 << 28 // 256M entries: sanity bound against corrupt headers
+	if count > maxTrace {
+		return nil, fmt.Errorf("trace: implausible trace length %d", count)
+	}
+	// Never trust the header for allocation: a forged count would
+	// pre-allocate gigabytes before the payload runs out. Grow on demand,
+	// seeded with a modest capacity.
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([]time.Duration, 0, capHint)
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read delay %d: %w", i, err)
+		}
+		prev += delta
+		out = append(out, time.Duration(prev))
+	}
+	return out, nil
+}
+
+// WriteText encodes delays to w as one millisecond value per line (fixed
+// three decimal places).
+func WriteText(w io.Writer, delays []time.Duration) error {
+	bw := bufio.NewWriter(w)
+	for i, d := range delays {
+		ms := float64(d) / float64(time.Millisecond)
+		if _, err := bw.WriteString(strconv.FormatFloat(ms, 'f', 3, 64)); err != nil {
+			return fmt.Errorf("trace: write line %d: %w", i, err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("trace: write line %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a text trace: one delay in milliseconds per line, blank
+// lines and lines starting with '#' ignored.
+func ReadText(r io.Reader) ([]time.Duration, error) {
+	var out []time.Duration
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ms, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, time.Duration(ms*float64(time.Millisecond)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}

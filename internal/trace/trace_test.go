@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wanfd/internal/sim"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	delays := []time.Duration{
+		192 * time.Millisecond,
+		205 * time.Millisecond,
+		198 * time.Millisecond,
+		340 * time.Millisecond,
+		193 * time.Millisecond,
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, delays); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(delays) {
+		t.Fatalf("len = %d, want %d", len(got), len(delays))
+	}
+	for i := range delays {
+		if got[i] != delays[i] {
+			t.Errorf("delay %d = %v, want %v", i, got[i], delays[i])
+		}
+	}
+}
+
+func TestBinaryEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	_, err := ReadBinary(strings.NewReader("not a trace file....."))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	delays := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, delays); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Error("truncated trace should fail")
+	}
+	if _, err := ReadBinary(bytes.NewReader(raw[:4])); err == nil {
+		t.Error("truncated header should fail")
+	}
+}
+
+func TestBinaryImplausibleCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	// Varint-encode an absurd count.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Error("implausible count should fail")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	delays := []time.Duration{
+		192500 * time.Microsecond,
+		206123 * time.Microsecond,
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, delays); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	for i := range delays {
+		diff := got[i] - delays[i]
+		if diff < -time.Microsecond || diff > time.Microsecond {
+			t.Errorf("delay %d = %v, want ≈%v", i, got[i], delays[i])
+		}
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# a trace\n\n100.0\n\n# another comment\n200.5\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 100*time.Millisecond {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTextBadLine(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("100\nnot-a-number\n")); err == nil {
+		t.Error("bad line should fail")
+	}
+}
+
+// Property: binary round trip is exact for any delay sequence.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		delays := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			delays[i] = time.Duration(v) * time.Microsecond
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, delays); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil || len(got) != len(delays) {
+			return false
+		}
+		for i := range delays {
+			if got[i] != delays[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// Correlated delays must compress well below 8 bytes per sample.
+	rng := sim.NewRNG(3, "compact")
+	delays := make([]time.Duration, 10000)
+	cur := 200 * time.Millisecond
+	for i := range delays {
+		cur += time.Duration(rng.Intn(2001)-1000) * time.Microsecond
+		delays[i] = cur
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, delays); err != nil {
+		t.Fatal(err)
+	}
+	if perSample := float64(buf.Len()) / float64(len(delays)); perSample > 4 {
+		t.Errorf("binary trace uses %.1f bytes/sample, want < 4 for correlated series", perSample)
+	}
+}
+
+func TestReadBinaryForgedCountDoesNotPreallocate(t *testing.T) {
+	// A header claiming ~185M entries with a truncated payload must fail
+	// with a decode error, quickly and without huge allocations.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{0xf0, 0x8b, 0xb9, 0x58, 0x70, 0x58})
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("forged trace should fail to decode")
+	}
+}

@@ -1,0 +1,38 @@
+package transport
+
+import (
+	"testing"
+
+	"wanfd/internal/neko"
+)
+
+// FuzzDecode ensures arbitrary packets never panic the decoder and that
+// every successfully decoded message re-encodes to an equivalent packet.
+func FuzzDecode(f *testing.F) {
+	m := &neko.Message{From: 1, To: 2, Type: neko.MsgHeartbeat, Seq: 7, Payload: []byte("x")}
+	seed, err := Encode(nil, m, 42)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("WF\x01garbage_______________________"))
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		decoded, sent, err := Decode(pkt)
+		if err != nil {
+			return
+		}
+		re, err := Encode(nil, decoded, sent)
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		back, sent2, err := Decode(re)
+		if err != nil || sent2 != sent {
+			t.Fatalf("re-decode failed: %v (sent %d vs %d)", err, sent2, sent)
+		}
+		if back.From != decoded.From || back.To != decoded.To ||
+			back.Type != decoded.Type || back.Seq != decoded.Seq {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back, decoded)
+		}
+	})
+}

@@ -1,0 +1,345 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"wanfd/internal/clock"
+	"wanfd/internal/neko"
+	"wanfd/internal/sim"
+)
+
+// UDPConfig parameterizes a UDP network endpoint.
+type UDPConfig struct {
+	// LocalID is the process id of this host.
+	LocalID neko.ProcessID
+	// Listen is the local UDP address, e.g. ":7007" or "127.0.0.1:0".
+	Listen string
+	// Peers maps remote process ids to their UDP addresses.
+	Peers map[neko.ProcessID]string
+}
+
+// UDPNetwork implements neko.Network over a real UDP socket for exactly one
+// local process. Received heartbeat timestamps (Unix nanoseconds at the
+// sender, per the paper's NTP-synchronized time base) are mapped onto the
+// local run clock, after subtracting the peer clock offset estimated by
+// SyncWith.
+type UDPNetwork struct {
+	cfg    UDPConfig
+	conn   *net.UDPConn
+	peers  map[neko.ProcessID]*net.UDPAddr
+	byAddr map[string]neko.ProcessID
+	epoch  time.Time
+	clk    *sim.RealClock
+
+	mu       sync.Mutex
+	receiver neko.Receiver
+	offsets  map[neko.ProcessID]time.Duration // estimated peer-minus-local clock offsets
+	pending  map[int64]chan clock.Sample
+	nextSync int64
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	statsMu   sync.Mutex
+	sent      uint64
+	received  uint64
+	malformed uint64
+}
+
+// NewUDPNetwork opens the socket and starts the receive loop. Close must be
+// called to release the socket.
+func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
+	if cfg.Listen == "" {
+		return nil, fmt.Errorf("transport: missing listen address")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve listen %q: %w", cfg.Listen, err)
+	}
+	peers := make(map[neko.ProcessID]*net.UDPAddr, len(cfg.Peers))
+	byAddr := make(map[string]neko.ProcessID, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		a, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: resolve peer %d %q: %w", id, addr, err)
+		}
+		peers[id] = a
+		byAddr[a.String()] = id
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", cfg.Listen, err)
+	}
+	epoch := time.Now()
+	n := &UDPNetwork{
+		cfg:     cfg,
+		conn:    conn,
+		peers:   peers,
+		byAddr:  byAddr,
+		epoch:   epoch,
+		clk:     sim.NewRealClockAt(epoch),
+		offsets: make(map[neko.ProcessID]time.Duration),
+		pending: make(map[int64]chan clock.Sample),
+		closed:  make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.readLoop()
+	return n, nil
+}
+
+// Clock returns the endpoint's run clock; protocol layers on this host must
+// use it so timestamps share the endpoint's epoch.
+func (n *UDPNetwork) Clock() sim.Clock { return n.clk }
+
+// LocalAddr returns the bound UDP address.
+func (n *UDPNetwork) LocalAddr() *net.UDPAddr {
+	addr, _ := n.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+var _ neko.Network = (*UDPNetwork)(nil)
+
+// Attach implements neko.Network for the configured local process.
+func (n *UDPNetwork) Attach(id neko.ProcessID, r neko.Receiver) (neko.Sender, error) {
+	if id != n.cfg.LocalID {
+		return nil, fmt.Errorf("transport: endpoint is process %d, cannot attach %d", n.cfg.LocalID, id)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("transport: nil receiver")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.receiver != nil {
+		return nil, fmt.Errorf("transport: process %d attached twice", id)
+	}
+	n.receiver = r
+	return udpSender{n: n}, nil
+}
+
+type udpSender struct{ n *UDPNetwork }
+
+func (s udpSender) Send(m *neko.Message) { s.n.send(m) }
+
+func (n *UDPNetwork) send(m *neko.Message) {
+	addr, ok := n.peers[m.To]
+	if !ok {
+		return
+	}
+	// Map the run-clock SentAt to the wall clock for the wire.
+	sentUnix := n.epoch.Add(m.SentAt).UnixNano()
+	buf, err := Encode(nil, m, sentUnix)
+	if err != nil {
+		return
+	}
+	if _, err := n.conn.WriteToUDP(buf, addr); err != nil {
+		return
+	}
+	n.statsMu.Lock()
+	n.sent++
+	n.statsMu.Unlock()
+}
+
+func (n *UDPNetwork) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, maxPacketSize)
+	for {
+		nb, raddr, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			// Transient read error: keep serving.
+			continue
+		}
+		m, sentUnix, err := Decode(buf[:nb])
+		if err != nil {
+			n.statsMu.Lock()
+			n.malformed++
+			n.statsMu.Unlock()
+			continue
+		}
+		// Identify the sender by source address when it is a configured
+		// peer: addresses are authoritative over the self-reported From
+		// field, so several remote heartbeaters can coexist without
+		// coordinating process ids.
+		if raddr != nil {
+			if id, ok := n.byAddr[raddr.String()]; ok {
+				m.From = id
+			}
+		}
+		n.dispatch(m, sentUnix)
+	}
+}
+
+func (n *UDPNetwork) dispatch(m *neko.Message, sentUnix int64) {
+	now := n.clk.Now()
+	switch m.Type {
+	case MsgTimeReq:
+		n.handleTimeReq(m)
+		return
+	case MsgTimeResp:
+		n.handleTimeResp(m, now)
+		return
+	}
+	n.mu.Lock()
+	offset := n.offsets[m.From]
+	r := n.receiver
+	n.mu.Unlock()
+	if r == nil {
+		return
+	}
+	// Map the sender's wall-clock timestamp onto the local run clock,
+	// correcting the estimated peer clock offset.
+	m.SentAt = time.Duration(sentUnix-n.epoch.UnixNano()) - offset
+	n.statsMu.Lock()
+	n.received++
+	n.statsMu.Unlock()
+	r.Receive(m)
+}
+
+// handleTimeReq answers an NTP-style exchange: echo T1, add our receive
+// (T2) and send (T3) wall-clock times.
+func (n *UDPNetwork) handleTimeReq(m *neko.Message) {
+	req, err := decodeTimeSync(m.Payload)
+	if err != nil {
+		return
+	}
+	t2 := time.Now().UnixNano()
+	resp := &neko.Message{
+		From: n.cfg.LocalID,
+		To:   m.From,
+		Type: MsgTimeResp,
+		Seq:  m.Seq,
+	}
+	addr, ok := n.peers[m.From]
+	if !ok {
+		return
+	}
+	resp.Payload = encodeTimeSync(timeSyncPayload{T1: req.T1, T2: t2, T3: time.Now().UnixNano()})
+	buf, err := Encode(nil, resp, time.Now().UnixNano())
+	if err != nil {
+		return
+	}
+	_, _ = n.conn.WriteToUDP(buf, addr)
+}
+
+func (n *UDPNetwork) handleTimeResp(m *neko.Message, _ time.Duration) {
+	p, err := decodeTimeSync(m.Payload)
+	if err != nil {
+		return
+	}
+	t4 := time.Now().UnixNano()
+	n.mu.Lock()
+	ch, ok := n.pending[m.Seq]
+	if ok {
+		delete(n.pending, m.Seq)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	ch <- clock.Sample{
+		T1: time.Duration(p.T1),
+		T2: time.Duration(p.T2),
+		T3: time.Duration(p.T3),
+		T4: time.Duration(t4),
+	}
+}
+
+// SyncWith performs rounds of NTP-style exchanges with a peer, estimates
+// the peer-minus-local clock offset using the minimum-delay filter, stores
+// it for inbound timestamp correction, and returns it. Rounds that time out
+// are skipped; at least one successful round is required.
+func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Duration) (time.Duration, error) {
+	addr, ok := n.peers[peer]
+	if !ok {
+		return 0, fmt.Errorf("transport: unknown peer %d", peer)
+	}
+	if rounds <= 0 {
+		rounds = 8
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	var samples []clock.Sample
+	for i := 0; i < rounds; i++ {
+		n.mu.Lock()
+		seq := n.nextSync
+		n.nextSync++
+		ch := make(chan clock.Sample, 1)
+		n.pending[seq] = ch
+		n.mu.Unlock()
+
+		req := &neko.Message{
+			From: n.cfg.LocalID,
+			To:   peer,
+			Type: MsgTimeReq,
+			Seq:  seq,
+			Payload: encodeTimeSync(timeSyncPayload{
+				T1: time.Now().UnixNano(),
+			}),
+		}
+		buf, err := Encode(nil, req, time.Now().UnixNano())
+		if err != nil {
+			return 0, err
+		}
+		if _, err := n.conn.WriteToUDP(buf, addr); err != nil {
+			return 0, fmt.Errorf("transport: sync send: %w", err)
+		}
+		select {
+		case s := <-ch:
+			samples = append(samples, s)
+		case <-time.After(timeout):
+			n.mu.Lock()
+			delete(n.pending, seq)
+			n.mu.Unlock()
+		case <-n.closed:
+			return 0, fmt.Errorf("transport: endpoint closed during sync")
+		}
+	}
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("transport: no sync responses from peer %d", peer)
+	}
+	off, err := clock.EstimateOffset(samples)
+	if err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	n.offsets[peer] = off
+	n.mu.Unlock()
+	return off, nil
+}
+
+// Offset returns the clock offset currently applied to the peer's inbound
+// timestamps (0 before SyncWith).
+func (n *UDPNetwork) Offset(peer neko.ProcessID) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.offsets[peer]
+}
+
+// Stats reports packets sent, valid packets received, and malformed packets
+// discarded.
+func (n *UDPNetwork) Stats() (sent, received, malformed uint64) {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.sent, n.received, n.malformed
+}
+
+// Close shuts down the receive loop and releases the socket.
+func (n *UDPNetwork) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	err := n.conn.Close()
+	n.wg.Wait()
+	return err
+}

@@ -1,0 +1,74 @@
+package wan
+
+import (
+	"fmt"
+	"time"
+)
+
+// Channel composes a delay model and a loss model into a unidirectional
+// fair-lossy link: it may drop messages but never creates or duplicates
+// them — the paper's link assumption, matching UDP.
+type Channel struct {
+	delay DelayModel
+	loss  LossModel
+	fifo  bool
+	last  time.Duration // latest delivery time handed out (for FIFO mode)
+
+	sent    uint64
+	dropped uint64
+}
+
+// ChannelConfig parameterizes a Channel.
+type ChannelConfig struct {
+	Delay DelayModel
+	Loss  LossModel // nil means lossless
+	// FIFO forces in-order delivery by clamping each delivery time to be
+	// no earlier than the previous one (TCP-like ordering). The paper's
+	// UDP channel leaves this false: reordering happens naturally when a
+	// later packet draws a smaller delay.
+	FIFO bool
+}
+
+// NewChannel validates cfg and builds the channel.
+func NewChannel(cfg ChannelConfig) (*Channel, error) {
+	if cfg.Delay == nil {
+		return nil, fmt.Errorf("wan: channel requires a delay model")
+	}
+	loss := cfg.Loss
+	if loss == nil {
+		loss = NoLoss{}
+	}
+	return &Channel{delay: cfg.Delay, loss: loss, fifo: cfg.FIFO}, nil
+}
+
+// Transmit simulates sending one packet at sendTime. It returns the
+// delivery time and ok=true, or ok=false if the channel dropped the packet.
+func (c *Channel) Transmit(sendTime time.Duration) (deliverAt time.Duration, ok bool) {
+	c.sent++
+	if c.loss.Lose() {
+		c.dropped++
+		return 0, false
+	}
+	d := c.delay.Sample(sendTime)
+	at := sendTime + d
+	if c.fifo {
+		if at < c.last {
+			at = c.last
+		}
+		c.last = at
+	}
+	return at, true
+}
+
+// Stats returns the number of packets offered to the channel and the number
+// dropped.
+func (c *Channel) Stats() (sent, dropped uint64) { return c.sent, c.dropped }
+
+// LossRate returns the observed fraction of offered packets that were
+// dropped (0 if nothing was sent).
+func (c *Channel) LossRate() float64 {
+	if c.sent == 0 {
+		return 0
+	}
+	return float64(c.dropped) / float64(c.sent)
+}

@@ -1,0 +1,247 @@
+package wan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DelayModel produces the one-way transmission delay experienced by
+// successive packets. Sample is called once per transmitted packet, in send
+// order, with the virtual send time; implementations may be stateful
+// (temporal correlation) and own their random stream.
+type DelayModel interface {
+	Sample(sendTime time.Duration) time.Duration
+}
+
+// ConstantDelay is a degenerate delay model useful in tests.
+type ConstantDelay struct {
+	// D is the delay applied to every packet.
+	D time.Duration
+}
+
+var _ DelayModel = (*ConstantDelay)(nil)
+
+// Sample returns the constant delay.
+func (c *ConstantDelay) Sample(time.Duration) time.Duration { return c.D }
+
+// AR1GammaDelay models a one-way delay as
+//
+//	delay_i = Base + q_i + s_i (+ spike with probability SpikeProb)
+//	q_i     = Rho*q_{i-1} + Gamma(Shape, Scale)
+//	s_i     = EpisodeDecay*s_{i-1} (+ jump ~ U[EpisodeLo, EpisodeHi]
+//	          with probability EpisodeProb)
+//
+// i.e. a propagation floor plus a positively-correlated fast queueing
+// component with Gamma innovations, a slow congestion level s that jumps up
+// in rare episodes and decays over many packets, and a bounded-Pareto spike
+// mixture for the heavy tail.
+//
+// The slow component makes the channel nonstationary at the timescale of
+// one experiment run — the property of real WAN paths behind the paper's
+// finding that long-memory predictors (MEAN) yield the longest detection
+// times: they keep charging for congestion that has long since decayed.
+// This is the channel family used to emulate the paper's Italy–Japan link;
+// see PresetItalyJapan for the calibrated parameters.
+type AR1GammaDelay struct {
+	base         time.Duration
+	rho          float64
+	shape        float64
+	scale        float64
+	spikeProb    float64
+	spikeLo      float64 // ms
+	spikeHi      float64 // ms
+	episodeProb  float64
+	episodeLo    float64 // ms
+	episodeHi    float64 // ms
+	episodeDecay float64
+	cap          time.Duration
+
+	rng *rand.Rand
+	q   float64 // fast queueing delay, ms
+	s   float64 // slow congestion level, ms
+}
+
+// AR1GammaConfig parameterizes AR1GammaDelay. All delay magnitudes are in
+// time.Duration; internal arithmetic is in float64 milliseconds.
+type AR1GammaConfig struct {
+	Base       time.Duration // propagation floor (paper: 192 ms)
+	Rho        float64       // AR(1) coefficient in [0, 1)
+	GammaShape float64       // innovation shape (> 0)
+	GammaScale float64       // innovation scale in ms (> 0)
+	SpikeProb  float64       // per-packet probability of a delay spike
+	SpikeLo    time.Duration // spike magnitude lower bound
+	SpikeHi    time.Duration // spike magnitude upper bound
+	Cap        time.Duration // hard upper bound on total delay (0 = none)
+
+	// Slow congestion episodes (0 values disable the component).
+	EpisodeProb  float64       // per-packet probability of a congestion jump
+	EpisodeLo    time.Duration // jump magnitude lower bound
+	EpisodeHi    time.Duration // jump magnitude upper bound
+	EpisodeDecay float64       // per-packet decay of the level, in [0, 1)
+}
+
+// NewAR1GammaDelay validates cfg and builds the model with its own random
+// stream.
+func NewAR1GammaDelay(cfg AR1GammaConfig, rng *rand.Rand) (*AR1GammaDelay, error) {
+	if cfg.Rho < 0 || cfg.Rho >= 1 {
+		return nil, fmt.Errorf("wan: Rho %v out of [0,1)", cfg.Rho)
+	}
+	if cfg.GammaShape <= 0 || cfg.GammaScale <= 0 {
+		return nil, fmt.Errorf("wan: gamma shape/scale must be positive, got %v/%v",
+			cfg.GammaShape, cfg.GammaScale)
+	}
+	if cfg.SpikeProb < 0 || cfg.SpikeProb > 1 {
+		return nil, fmt.Errorf("wan: SpikeProb %v out of [0,1]", cfg.SpikeProb)
+	}
+	if cfg.SpikeProb > 0 && !(cfg.SpikeHi > cfg.SpikeLo && cfg.SpikeLo > 0) {
+		return nil, fmt.Errorf("wan: spike bounds must satisfy 0 < lo < hi, got %v/%v",
+			cfg.SpikeLo, cfg.SpikeHi)
+	}
+	if cfg.EpisodeProb < 0 || cfg.EpisodeProb > 1 {
+		return nil, fmt.Errorf("wan: EpisodeProb %v out of [0,1]", cfg.EpisodeProb)
+	}
+	if cfg.EpisodeProb > 0 {
+		if !(cfg.EpisodeHi > cfg.EpisodeLo && cfg.EpisodeLo > 0) {
+			return nil, fmt.Errorf("wan: episode bounds must satisfy 0 < lo < hi, got %v/%v",
+				cfg.EpisodeLo, cfg.EpisodeHi)
+		}
+		if cfg.EpisodeDecay < 0 || cfg.EpisodeDecay >= 1 {
+			return nil, fmt.Errorf("wan: EpisodeDecay %v out of [0,1)", cfg.EpisodeDecay)
+		}
+	}
+	innovMean := cfg.GammaShape * cfg.GammaScale
+	m := &AR1GammaDelay{
+		base:         cfg.Base,
+		rho:          cfg.Rho,
+		shape:        cfg.GammaShape,
+		scale:        cfg.GammaScale,
+		spikeProb:    cfg.SpikeProb,
+		spikeLo:      float64(cfg.SpikeLo) / float64(time.Millisecond),
+		spikeHi:      float64(cfg.SpikeHi) / float64(time.Millisecond),
+		episodeProb:  cfg.EpisodeProb,
+		episodeLo:    float64(cfg.EpisodeLo) / float64(time.Millisecond),
+		episodeHi:    float64(cfg.EpisodeHi) / float64(time.Millisecond),
+		episodeDecay: cfg.EpisodeDecay,
+		cap:          cfg.Cap,
+		rng:          rng,
+		// Start the queue at its stationary mean so the series has no
+		// warm-up transient.
+		q: innovMean / (1 - cfg.Rho),
+	}
+	// Burn in the slow episode level to a stationary draw: starting every
+	// run at s = 0 would make early-run conditions systematically better
+	// than the long-run channel.
+	if m.episodeProb > 0 {
+		burn := int(3 / ((1 - m.episodeDecay) * m.episodeProb))
+		const maxBurn = 100000
+		if burn > maxBurn {
+			burn = maxBurn
+		}
+		for i := 0; i < burn; i++ {
+			m.s *= m.episodeDecay
+			if m.rng.Float64() < m.episodeProb {
+				m.s += m.episodeLo + m.rng.Float64()*(m.episodeHi-m.episodeLo)
+			}
+		}
+	}
+	return m, nil
+}
+
+var _ DelayModel = (*AR1GammaDelay)(nil)
+
+// Sample draws the next correlated delay.
+func (m *AR1GammaDelay) Sample(time.Duration) time.Duration {
+	innov := sampleGamma(m.rng, m.shape, m.scale)
+	m.q = m.rho*m.q + innov
+	if m.q < 0 {
+		m.q = 0
+	}
+	if m.episodeProb > 0 {
+		m.s *= m.episodeDecay
+		if m.rng.Float64() < m.episodeProb {
+			m.s += m.episodeLo + m.rng.Float64()*(m.episodeHi-m.episodeLo)
+		}
+	}
+	ms := m.q + m.s
+	if m.spikeProb > 0 && m.rng.Float64() < m.spikeProb {
+		ms += samplePareto(m.rng, 1.5, m.spikeLo, m.spikeHi)
+	}
+	d := m.base + time.Duration(ms*float64(time.Millisecond))
+	if m.cap > 0 && d > m.cap {
+		d = m.cap
+	}
+	return d
+}
+
+// DiurnalDelay wraps another delay model and modulates the variable part of
+// the delay (anything above the floor) with a slow sinusoid, emulating the
+// congestion cycles (peak hours vs. night, weekday vs. weekend) the paper
+// names as the reason adaptive detectors suit WANs.
+type DiurnalDelay struct {
+	inner     DelayModel
+	floor     time.Duration
+	amplitude float64       // relative modulation of the variable part, in [0, 1)
+	period    time.Duration // modulation period
+	phase     float64       // starting phase, radians
+}
+
+// NewDiurnalDelay wraps inner. amplitude must be in [0, 1) and period
+// positive; floor is the propagation delay left unmodulated. phase is the
+// starting phase in radians: 0 starts at the neutral point of the cycle,
+// π/2 starts at the congestion peak (so a run shorter than half the period
+// sees a monotonically falling congestion flank).
+func NewDiurnalDelay(inner DelayModel, floor time.Duration, amplitude float64, period time.Duration, phase float64) (*DiurnalDelay, error) {
+	if amplitude < 0 || amplitude >= 1 {
+		return nil, fmt.Errorf("wan: diurnal amplitude %v out of [0,1)", amplitude)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("wan: diurnal period must be positive, got %v", period)
+	}
+	return &DiurnalDelay{inner: inner, floor: floor, amplitude: amplitude, period: period, phase: phase}, nil
+}
+
+var _ DelayModel = (*DiurnalDelay)(nil)
+
+// Sample modulates the inner model's variable delay component.
+func (d *DiurnalDelay) Sample(sendTime time.Duration) time.Duration {
+	raw := d.inner.Sample(sendTime)
+	variable := raw - d.floor
+	if variable < 0 {
+		return raw
+	}
+	phase := d.phase + 2*math.Pi*float64(sendTime)/float64(d.period)
+	factor := 1 + d.amplitude*math.Sin(phase)
+	return d.floor + time.Duration(float64(variable)*factor)
+}
+
+// TraceDelay replays a recorded sequence of delays, cycling when exhausted.
+// It gives bit-identical reruns of an experiment from a stored trace.
+type TraceDelay struct {
+	delays []time.Duration
+	next   int
+}
+
+// NewTraceDelay builds a replay model over a non-empty delay sequence. The
+// slice is copied.
+func NewTraceDelay(delays []time.Duration) (*TraceDelay, error) {
+	if len(delays) == 0 {
+		return nil, fmt.Errorf("wan: empty delay trace")
+	}
+	cp := make([]time.Duration, len(delays))
+	copy(cp, delays)
+	return &TraceDelay{delays: cp}, nil
+}
+
+var _ DelayModel = (*TraceDelay)(nil)
+
+// Sample returns the next recorded delay, wrapping around at the end.
+func (t *TraceDelay) Sample(time.Duration) time.Duration {
+	d := t.delays[t.next]
+	t.next = (t.next + 1) % len(t.delays)
+	return d
+}
+
+// Len returns the number of recorded delays.
+func (t *TraceDelay) Len() int { return len(t.delays) }

@@ -1,0 +1,51 @@
+// Package wan models wide-area-network channels: one-way delay processes,
+// loss processes, and their composition into a Channel that the simulated
+// network driver uses to deliver heartbeat messages.
+//
+// The paper ran on a real Italy–Japan Internet path; this package provides
+// a calibrated stochastic substitute (see DESIGN.md §2). Delay processes are
+// temporally correlated (AR(1) queueing component plus heavy-tail spikes),
+// because the relative accuracy of the paper's predictors — ARIMA beating
+// windowed means beating LAST — only manifests on correlated delay series.
+package wan
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sampleGamma draws from a Gamma(shape, scale) distribution using the
+// Marsaglia–Tsang method. shape and scale must be positive.
+func sampleGamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		return sampleGamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9.0*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1.0 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1.0-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1.0-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// samplePareto draws from a bounded Pareto distribution on [lo, hi] with
+// tail index alpha. Used for delay spikes.
+func samplePareto(rng *rand.Rand, alpha, lo, hi float64) float64 {
+	u := rng.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1.0/alpha)
+}

@@ -1,0 +1,115 @@
+package wan
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LossModel decides, per transmitted packet in send order, whether the
+// packet is dropped by the channel.
+type LossModel interface {
+	Lose() bool
+}
+
+// NoLoss never drops packets.
+type NoLoss struct{}
+
+var _ LossModel = NoLoss{}
+
+// Lose reports false.
+func (NoLoss) Lose() bool { return false }
+
+// BernoulliLoss drops each packet independently with probability P.
+type BernoulliLoss struct {
+	p   float64
+	rng *rand.Rand
+}
+
+// NewBernoulliLoss validates p ∈ [0,1] and builds the model.
+func NewBernoulliLoss(p float64, rng *rand.Rand) (*BernoulliLoss, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("wan: loss probability %v out of [0,1]", p)
+	}
+	return &BernoulliLoss{p: p, rng: rng}, nil
+}
+
+var _ LossModel = (*BernoulliLoss)(nil)
+
+// Lose draws one Bernoulli trial.
+func (b *BernoulliLoss) Lose() bool { return b.rng.Float64() < b.p }
+
+// GilbertElliottLoss is the classic two-state bursty loss model: the channel
+// alternates between a Good state (low loss) and a Bad state (high loss),
+// with geometric sojourn times. Internet losses are bursty, and burstiness
+// is what stresses a failure detector's freshness-point logic (several
+// consecutive heartbeats missing looks exactly like a crash).
+type GilbertElliottLoss struct {
+	pGood2Bad float64
+	pBad2Good float64
+	lossGood  float64
+	lossBad   float64
+	bad       bool
+	rng       *rand.Rand
+}
+
+// GilbertElliottConfig parameterizes GilbertElliottLoss. All probabilities
+// are per packet.
+type GilbertElliottConfig struct {
+	PGoodToBad float64 // transition probability Good→Bad
+	PBadToGood float64 // transition probability Bad→Good
+	LossGood   float64 // loss probability while Good
+	LossBad    float64 // loss probability while Bad
+}
+
+// NewGilbertElliottLoss validates cfg and builds the model starting in the
+// Good state.
+func NewGilbertElliottLoss(cfg GilbertElliottConfig, rng *rand.Rand) (*GilbertElliottLoss, error) {
+	for _, p := range []float64{cfg.PGoodToBad, cfg.PBadToGood, cfg.LossGood, cfg.LossBad} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("wan: Gilbert-Elliott probability %v out of [0,1]", p)
+		}
+	}
+	return &GilbertElliottLoss{
+		pGood2Bad: cfg.PGoodToBad,
+		pBad2Good: cfg.PBadToGood,
+		lossGood:  cfg.LossGood,
+		lossBad:   cfg.LossBad,
+		rng:       rng,
+	}, nil
+}
+
+var _ LossModel = (*GilbertElliottLoss)(nil)
+
+// Lose advances the channel state by one packet and reports whether that
+// packet is dropped.
+func (g *GilbertElliottLoss) Lose() bool {
+	if g.bad {
+		if g.rng.Float64() < g.pBad2Good {
+			g.bad = false
+		}
+	} else {
+		if g.rng.Float64() < g.pGood2Bad {
+			g.bad = true
+		}
+	}
+	p := g.lossGood
+	if g.bad {
+		p = g.lossBad
+	}
+	return g.rng.Float64() < p
+}
+
+// InBadState reports whether the channel is currently in the Bad state
+// (exported for tests and channel introspection).
+func (g *GilbertElliottLoss) InBadState() bool { return g.bad }
+
+// StationaryLoss returns the long-run loss probability implied by the
+// configuration.
+func (g *GilbertElliottLoss) StationaryLoss() float64 {
+	denom := g.pGood2Bad + g.pBad2Good
+	if denom == 0 {
+		return g.lossGood
+	}
+	piBad := g.pGood2Bad / denom
+	return (1-piBad)*g.lossGood + piBad*g.lossBad
+}

@@ -1,0 +1,179 @@
+package wan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// QueueDelay is a mechanistic delay model: the path's bottleneck router as
+// a single FIFO server shared with Poisson cross-traffic. Each heartbeat's
+// delay is the propagation floor plus the unfinished work queued ahead of
+// it plus its own service time. Unlike the statistical AR1Gamma family,
+// burstiness and correlation *emerge* from the queue dynamics (utilization
+// ρ = CrossRate × CrossService controls them), which makes the model useful
+// for ablations where one wants to turn a physical knob instead of a
+// distribution parameter.
+type QueueDelay struct {
+	base      time.Duration
+	serviceMs float64
+	rateMs    float64 // cross-traffic arrivals per ms
+	crossMs   float64 // mean service demand per cross packet, ms
+	capMs     float64
+	rng       *rand.Rand
+
+	backlogMs float64
+	lastMs    float64
+	primed    bool
+}
+
+// QueueConfig parameterizes QueueDelay.
+type QueueConfig struct {
+	// Base is the propagation floor.
+	Base time.Duration
+	// Service is the heartbeat's own transmission/service time.
+	Service time.Duration
+	// CrossRate is the cross-traffic arrival rate, packets per second.
+	CrossRate float64
+	// CrossService is the mean service demand per cross-traffic packet
+	// (exponentially distributed).
+	CrossService time.Duration
+	// Cap bounds the total delay (0 = none).
+	Cap time.Duration
+}
+
+// Utilization returns ρ = CrossRate × E[CrossService]; the queue is stable
+// only for ρ < 1.
+func (c QueueConfig) Utilization() float64 {
+	return c.CrossRate * c.CrossService.Seconds()
+}
+
+// NewQueueDelay validates cfg (requiring a stable queue) and builds the
+// model.
+func NewQueueDelay(cfg QueueConfig, rng *rand.Rand) (*QueueDelay, error) {
+	if cfg.Service <= 0 {
+		return nil, fmt.Errorf("wan: queue service time must be positive, got %v", cfg.Service)
+	}
+	if cfg.CrossRate < 0 {
+		return nil, fmt.Errorf("wan: negative cross-traffic rate %v", cfg.CrossRate)
+	}
+	if cfg.CrossRate > 0 && cfg.CrossService <= 0 {
+		return nil, fmt.Errorf("wan: cross-traffic needs a positive mean service, got %v", cfg.CrossService)
+	}
+	if rho := cfg.Utilization(); rho >= 1 {
+		return nil, fmt.Errorf("wan: queue unstable (utilization %.3f >= 1)", rho)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("wan: queue delay needs a random source")
+	}
+	return &QueueDelay{
+		base:      cfg.Base,
+		serviceMs: float64(cfg.Service) / float64(time.Millisecond),
+		rateMs:    cfg.CrossRate / 1000,
+		crossMs:   float64(cfg.CrossService) / float64(time.Millisecond),
+		capMs:     float64(cfg.Cap) / float64(time.Millisecond),
+		rng:       rng,
+	}, nil
+}
+
+var _ DelayModel = (*QueueDelay)(nil)
+
+// Sample advances the queue to sendTime (draining at unit rate, admitting
+// the cross-traffic that arrived in the gap) and returns this packet's
+// delay. Samples must be taken with non-decreasing send times; an earlier
+// send time is treated as simultaneous with the previous one.
+func (q *QueueDelay) Sample(sendTime time.Duration) time.Duration {
+	nowMs := float64(sendTime) / float64(time.Millisecond)
+	if !q.primed {
+		q.lastMs, q.primed = nowMs, true
+	}
+	elapsed := nowMs - q.lastMs
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	q.lastMs = nowMs
+
+	// Replay the gap exactly: cross-traffic packets arrive at Poisson
+	// times within it, each adding exponential work, while the server
+	// drains at unit rate between arrivals.
+	q.advance(elapsed)
+
+	delayMs := q.backlogMs + q.serviceMs
+	q.backlogMs += q.serviceMs
+	if q.capMs > 0 && delayMs > q.capMs {
+		delayMs = q.capMs
+	}
+	return q.base + time.Duration(delayMs*float64(time.Millisecond))
+}
+
+// advance replays elapsed ms of queue evolution: Poisson cross-traffic
+// arrivals (conditioned on the count, arrival times are iid uniform over
+// the gap) interleaved with unit-rate draining.
+func (q *QueueDelay) advance(elapsed float64) {
+	if elapsed <= 0 {
+		return
+	}
+	lambda := q.rateMs * elapsed
+	n := samplePoisson(q.rng, lambda)
+	const maxArrivals = 100000 // guard against pathological gaps
+	if n > maxArrivals {
+		n = maxArrivals
+	}
+	if n == 0 {
+		q.backlogMs -= elapsed
+		if q.backlogMs < 0 {
+			q.backlogMs = 0
+		}
+		return
+	}
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = q.rng.Float64() * elapsed
+	}
+	sort.Float64s(times)
+	prev := 0.0
+	for _, at := range times {
+		q.backlogMs -= at - prev
+		if q.backlogMs < 0 {
+			q.backlogMs = 0
+		}
+		q.backlogMs += q.rng.ExpFloat64() * q.crossMs
+		prev = at
+	}
+	q.backlogMs -= elapsed - prev
+	if q.backlogMs < 0 {
+		q.backlogMs = 0
+	}
+}
+
+// Backlog returns the queue's current unfinished work (diagnostics).
+func (q *QueueDelay) Backlog() time.Duration {
+	return time.Duration(q.backlogMs * float64(time.Millisecond))
+}
+
+// samplePoisson draws from Poisson(lambda) — Knuth's method for small
+// lambda, a clamped normal approximation beyond.
+func samplePoisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

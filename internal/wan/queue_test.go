@@ -1,0 +1,194 @@
+package wan
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wanfd/internal/sim"
+	"wanfd/internal/stats"
+)
+
+func TestSamplePoissonMoments(t *testing.T) {
+	rng := sim.NewRNG(71, "poisson")
+	for _, lambda := range []float64{0.5, 4, 20} {
+		var r stats.Running
+		for i := 0; i < 100000; i++ {
+			r.Add(float64(samplePoisson(rng, lambda)))
+		}
+		if math.Abs(r.Mean()-lambda) > 0.05*lambda+0.02 {
+			t.Errorf("lambda %v: mean %v", lambda, r.Mean())
+		}
+		if math.Abs(r.Variance()-lambda) > 0.1*lambda+0.05 {
+			t.Errorf("lambda %v: variance %v", lambda, r.Variance())
+		}
+	}
+	if samplePoisson(sim.NewRNG(1, "x"), 0) != 0 {
+		t.Error("lambda 0 should give 0")
+	}
+	// Normal-approximation branch.
+	rng2 := sim.NewRNG(72, "poisson-big")
+	var r stats.Running
+	for i := 0; i < 50000; i++ {
+		n := samplePoisson(rng2, 400)
+		if n < 0 {
+			t.Fatal("negative count")
+		}
+		r.Add(float64(n))
+	}
+	if math.Abs(r.Mean()-400) > 2 {
+		t.Errorf("lambda 400: mean %v", r.Mean())
+	}
+}
+
+func TestQueueConfigValidation(t *testing.T) {
+	rng := sim.NewRNG(1, "q")
+	bad := []QueueConfig{
+		{Service: 0},
+		{Service: time.Millisecond, CrossRate: -1},
+		{Service: time.Millisecond, CrossRate: 10, CrossService: 0},
+		{Service: time.Millisecond, CrossRate: 200, CrossService: 10 * time.Millisecond}, // rho = 2
+	}
+	for i, cfg := range bad {
+		if _, err := NewQueueDelay(cfg, rng); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+	if _, err := NewQueueDelay(QueueConfig{Service: time.Millisecond}, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+}
+
+func TestQueueUtilization(t *testing.T) {
+	cfg := QueueConfig{CrossRate: 100, CrossService: 5 * time.Millisecond}
+	if got := cfg.Utilization(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestQueueDelayNoCrossTraffic(t *testing.T) {
+	q, err := NewQueueDelay(QueueConfig{
+		Base:    100 * time.Millisecond,
+		Service: 2 * time.Millisecond,
+	}, sim.NewRNG(2, "q0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widely spaced packets: delay = base + own service, queue drains.
+	for i := 0; i < 10; i++ {
+		d := q.Sample(time.Duration(i) * time.Second)
+		if d != 102*time.Millisecond {
+			t.Fatalf("sample %d = %v, want 102ms", i, d)
+		}
+	}
+	// Back-to-back packets at the same instant build a queue.
+	base := 100 * time.Second
+	d1 := q.Sample(base)
+	d2 := q.Sample(base)
+	d3 := q.Sample(base)
+	if !(d1 < d2 && d2 < d3) {
+		t.Errorf("simultaneous packets should queue: %v %v %v", d1, d2, d3)
+	}
+	if q.Backlog() <= 0 {
+		t.Error("backlog should be positive after a burst")
+	}
+}
+
+func TestQueueDelayGrowsWithUtilization(t *testing.T) {
+	meanWait := func(rho float64) float64 {
+		t.Helper()
+		q, err := NewQueueDelay(QueueConfig{
+			Base:         100 * time.Millisecond,
+			Service:      time.Millisecond,
+			CrossRate:    rho / 0.005, // ρ / E[S]
+			CrossService: 5 * time.Millisecond,
+		}, sim.NewRNG(3, "qsweep"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r stats.Running
+		for i := 0; i < 30000; i++ {
+			d := q.Sample(time.Duration(i) * 100 * time.Millisecond)
+			r.Add(float64(d-100*time.Millisecond) / float64(time.Millisecond))
+		}
+		return r.Mean()
+	}
+	w30, w60, w90 := meanWait(0.3), meanWait(0.6), meanWait(0.9)
+	if !(w30 < w60 && w60 < w90) {
+		t.Fatalf("mean wait not increasing with utilization: %.2f %.2f %.2f", w30, w60, w90)
+	}
+	// Queueing delay explodes toward saturation (M/M/1 shape: ρ/(1−ρ)).
+	if w90 < 3*w60 {
+		t.Errorf("near-saturation wait %.2f not ≫ mid-load wait %.2f", w90, w60)
+	}
+}
+
+func TestQueueDelayStableBacklog(t *testing.T) {
+	q, err := NewQueueDelay(QueueConfig{
+		Base:         50 * time.Millisecond,
+		Service:      time.Millisecond,
+		CrossRate:    100,
+		CrossService: 7 * time.Millisecond, // ρ = 0.7
+	}, sim.NewRNG(4, "qstable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		q.Sample(time.Duration(i) * 100 * time.Millisecond)
+	}
+	// A stable queue's backlog stays bounded (generously: 100 × mean).
+	if q.Backlog() > 2*time.Second {
+		t.Errorf("backlog %v diverged at rho=0.7", q.Backlog())
+	}
+}
+
+func TestQueueDelayCapAndChannelIntegration(t *testing.T) {
+	q, err := NewQueueDelay(QueueConfig{
+		Base:         10 * time.Millisecond,
+		Service:      time.Millisecond,
+		CrossRate:    150,
+		CrossService: 6 * time.Millisecond, // ρ = 0.9
+		Cap:          100 * time.Millisecond,
+	}, sim.NewRNG(5, "qcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannel(ChannelConfig{Delay: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Characterize(ch, 20000, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxDelay > 110*time.Millisecond {
+		t.Errorf("max delay %v exceeds base+cap", c.MaxDelay)
+	}
+	if c.MinDelay < 10*time.Millisecond {
+		t.Errorf("min delay %v below base", c.MinDelay)
+	}
+	if c.MeanDelay <= 11*time.Millisecond {
+		t.Errorf("mean delay %v shows no queueing at rho=0.9", c.MeanDelay)
+	}
+}
+
+func TestQueueDelayCorrelatedUnderLoad(t *testing.T) {
+	// Queue dynamics induce positive short-lag correlation without any
+	// explicit AR parameter.
+	q, err := NewQueueDelay(QueueConfig{
+		Base:         10 * time.Millisecond,
+		Service:      time.Millisecond,
+		CrossRate:    160,
+		CrossService: 5 * time.Millisecond, // ρ = 0.8
+	}, sim.NewRNG(6, "qcorr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = float64(q.Sample(time.Duration(i) * 50 * time.Millisecond))
+	}
+	if r1 := lag1Autocorr(xs); r1 < 0.2 {
+		t.Errorf("lag-1 autocorrelation %v, want positive from queue dynamics", r1)
+	}
+}

@@ -1,0 +1,215 @@
+package wanfd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/layers"
+	"wanfd/internal/neko"
+	"wanfd/internal/transport"
+)
+
+// MultiMonitorConfig assembles a monitor that watches several heartbeating
+// peers over one UDP socket, with one failure detector per peer. Peers are
+// identified by their source address, so every remote just runs a plain
+// fdheartbeat/RunHeartbeater pointed at this monitor.
+type MultiMonitorConfig struct {
+	// Listen is the local UDP address.
+	Listen string
+	// Peers maps a peer name (free-form, used in callbacks and queries)
+	// to its heartbeater UDP address.
+	Peers map[string]string
+	// Eta is the heartbeat period all peers use.
+	Eta time.Duration
+	// Predictor and Margin select the detector combination used for every
+	// peer (defaults LAST + JAC_med).
+	Predictor, Margin string
+	// OnChange, when non-nil, is invoked on any peer's suspicion
+	// transition; it must not block.
+	OnChange func(peer string, suspected bool, elapsed time.Duration)
+	// MinTimeout floors the adaptive timeout (0 means 10 ms; negative
+	// disables the floor).
+	MinTimeout time.Duration
+}
+
+// PeerStatus is one peer's current detector state.
+type PeerStatus struct {
+	// Peer is the configured peer name.
+	Peer string
+	// Suspected is the detector's current output.
+	Suspected bool
+	// Timeout is the current adaptive timeout.
+	Timeout time.Duration
+	// Heartbeats, Stale and Suspicions are the detector counters.
+	Heartbeats, Stale, Suspicions uint64
+}
+
+// MultiMonitor is a running multi-peer UDP failure detector.
+type MultiMonitor struct {
+	net       *transport.UDPNetwork
+	detectors map[string]*core.Detector
+	monitors  []*layers.Monitor
+	names     []string
+}
+
+// multiMonitorID is the local process id of the multi-monitor; peers get
+// ids above it.
+const multiMonitorID neko.ProcessID = 1000
+
+type namedListener struct {
+	name     string
+	onChange func(peer string, suspected bool, elapsed time.Duration)
+}
+
+func (l namedListener) OnSuspect(_ string, at time.Duration) {
+	if l.onChange != nil {
+		l.onChange(l.name, true, at)
+	}
+}
+
+func (l namedListener) OnTrust(_ string, at time.Duration) {
+	if l.onChange != nil {
+		l.onChange(l.name, false, at)
+	}
+}
+
+// ListenAndMonitorMany opens the socket and starts one detector per peer.
+// Close must be called to release the socket.
+func ListenAndMonitorMany(cfg MultiMonitorConfig) (*MultiMonitor, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("wanfd: multi-monitor needs at least one peer")
+	}
+	if cfg.Predictor == "" {
+		cfg.Predictor = "LAST"
+	}
+	if cfg.Margin == "" {
+		cfg.Margin = "JAC_med"
+	}
+	names := make([]string, 0, len(cfg.Peers))
+	for name := range cfg.Peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	peerIDs := make(map[neko.ProcessID]string, len(names))
+	peerAddrs := make(map[neko.ProcessID]string, len(names))
+	for i, name := range names {
+		id := multiMonitorID + 1 + neko.ProcessID(i)
+		peerIDs[id] = name
+		peerAddrs[id] = cfg.Peers[name]
+	}
+
+	net, err := transport.NewUDPNetwork(transport.UDPConfig{
+		LocalID: multiMonitorID,
+		Listen:  cfg.Listen,
+		Peers:   peerAddrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			_ = net.Close()
+		}
+	}()
+
+	router := layers.NewRouter()
+	mm := &MultiMonitor{
+		net:       net,
+		detectors: make(map[string]*core.Detector, len(names)),
+		names:     names,
+	}
+	ctx := &neko.Context{ID: multiMonitorID, Clock: net.Clock()}
+	for id, name := range peerIDs {
+		pred, err := core.NewPredictorByName(cfg.Predictor)
+		if err != nil {
+			return nil, err
+		}
+		margin, err := core.NewMarginByName(cfg.Margin)
+		if err != nil {
+			return nil, err
+		}
+		minTimeout := cfg.MinTimeout
+		if minTimeout == 0 {
+			minTimeout = 10 * time.Millisecond
+		}
+		if minTimeout < 0 {
+			minTimeout = 0
+		}
+		det, err := core.NewDetector(core.DetectorConfig{
+			Name:       name,
+			Predictor:  pred,
+			Margin:     margin,
+			Eta:        cfg.Eta,
+			Clock:      net.Clock(),
+			Listener:   namedListener{name: name, onChange: cfg.OnChange},
+			MinTimeout: minTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mon, err := layers.NewMonitor(det)
+		if err != nil {
+			return nil, err
+		}
+		if err := mon.Init(ctx); err != nil {
+			return nil, err
+		}
+		if err := router.Route(id, mon); err != nil {
+			return nil, err
+		}
+		mm.detectors[name] = det
+		mm.monitors = append(mm.monitors, mon)
+	}
+	proc, err := neko.NewProcess(multiMonitorID, net.Clock(), net, router)
+	if err != nil {
+		return nil, err
+	}
+	if err := proc.Start(); err != nil {
+		return nil, err
+	}
+	ok = true
+	return mm, nil
+}
+
+// Suspected reports whether the named peer is currently suspected; unknown
+// peers report an error.
+func (m *MultiMonitor) Suspected(peer string) (bool, error) {
+	det, ok := m.detectors[peer]
+	if !ok {
+		return false, fmt.Errorf("wanfd: unknown peer %q", peer)
+	}
+	return det.Suspected(), nil
+}
+
+// Status returns every peer's state, sorted by peer name.
+func (m *MultiMonitor) Status() []PeerStatus {
+	out := make([]PeerStatus, 0, len(m.names))
+	for _, name := range m.names {
+		det := m.detectors[name]
+		hb, stale, susp := det.Stats()
+		out = append(out, PeerStatus{
+			Peer:       name,
+			Suspected:  det.Suspected(),
+			Timeout:    time.Duration(det.CurrentTimeout() * float64(time.Millisecond)),
+			Heartbeats: hb,
+			Stale:      stale,
+			Suspicions: susp,
+		})
+	}
+	return out
+}
+
+// LocalAddr returns the bound UDP address string.
+func (m *MultiMonitor) LocalAddr() string { return m.net.LocalAddr().String() }
+
+// Close stops every detector and releases the socket.
+func (m *MultiMonitor) Close() error {
+	for _, mon := range m.monitors {
+		mon.Stop()
+	}
+	return m.net.Close()
+}

@@ -1,0 +1,176 @@
+package wanfd
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMultiMonitorValidation(t *testing.T) {
+	if _, err := ListenAndMonitorMany(MultiMonitorConfig{Listen: ":0", Eta: time.Second}); err == nil {
+		t.Error("no peers should be rejected")
+	}
+	if _, err := ListenAndMonitorMany(MultiMonitorConfig{
+		Listen: "127.0.0.1:0",
+		Peers:  map[string]string{"a": "not::an::addr"},
+		Eta:    time.Second,
+	}); err == nil {
+		t.Error("bad peer address should be rejected")
+	}
+	if _, err := ListenAndMonitorMany(MultiMonitorConfig{
+		Listen:    "127.0.0.1:0",
+		Peers:     map[string]string{"a": "127.0.0.1:1"},
+		Eta:       time.Second,
+		Predictor: "NOPE",
+	}); err == nil {
+		t.Error("unknown predictor should be rejected")
+	}
+}
+
+func TestMultiMonitorTwoPeers(t *testing.T) {
+	addrs := freeUDPPorts(t, 3)
+	monAddr, aAddr, bAddr := addrs[0], addrs[1], addrs[2]
+	const eta = 25 * time.Millisecond
+
+	var mu sync.Mutex
+	events := make(map[string][]bool)
+	mon, err := ListenAndMonitorMany(MultiMonitorConfig{
+		Listen: monAddr,
+		Peers:  map[string]string{"alpha": aAddr, "beta": bAddr},
+		Eta:    eta,
+		OnChange: func(peer string, suspected bool, _ time.Duration) {
+			mu.Lock()
+			events[peer] = append(events[peer], suspected)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	hbA, err := RunHeartbeater(HeartbeaterConfig{Listen: aAddr, Remote: monAddr, Eta: eta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hbA.Close()
+	hbB, err := RunHeartbeater(HeartbeaterConfig{Listen: bAddr, Remote: monAddr, Eta: eta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hbB.Close()
+
+	time.Sleep(400 * time.Millisecond)
+	status := mon.Status()
+	if len(status) != 2 {
+		t.Fatalf("status entries = %d, want 2", len(status))
+	}
+	for _, s := range status {
+		if s.Heartbeats < 5 {
+			t.Errorf("peer %s saw only %d heartbeats", s.Peer, s.Heartbeats)
+		}
+	}
+
+	// Crash only alpha; beta must stay trusted.
+	_ = hbA.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		s, err := mon.Suspected("alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	suspA, err := mon.Suspected("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suspA {
+		t.Fatal("alpha's crash not detected")
+	}
+	suspB, err := mon.Suspected("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suspB {
+		t.Error("beta wrongly suspected after alpha's crash")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events["alpha"]) == 0 || !events["alpha"][len(events["alpha"])-1] {
+		t.Errorf("alpha events = %v, want trailing suspect", events["alpha"])
+	}
+	if _, err := mon.Suspected("nobody"); err == nil {
+		t.Error("unknown peer should be rejected")
+	}
+	if mon.LocalAddr() == "" {
+		t.Error("LocalAddr empty")
+	}
+}
+
+func TestMultiMonitorTrustCallbackAfterRecovery(t *testing.T) {
+	addrs := freeUDPPorts(t, 2)
+	monAddr, aAddr := addrs[0], addrs[1]
+	const eta = 20 * time.Millisecond
+
+	var mu sync.Mutex
+	var transitions []bool
+	mon, err := ListenAndMonitorMany(MultiMonitorConfig{
+		Listen: monAddr,
+		Peers:  map[string]string{"a": aAddr},
+		Eta:    eta,
+		OnChange: func(_ string, suspected bool, _ time.Duration) {
+			mu.Lock()
+			transitions = append(transitions, suspected)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	hb, err := RunHeartbeater(HeartbeaterConfig{Listen: aAddr, Remote: monAddr, Eta: eta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.LocalAddr() == "" {
+		t.Error("heartbeater LocalAddr empty")
+	}
+	time.Sleep(200 * time.Millisecond)
+	_ = hb.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if s, _ := mon.Suspected("a"); s {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Recover: the OnChange trust path must fire.
+	hb2, err := RunHeartbeater(HeartbeaterConfig{Listen: aAddr, Remote: monAddr, Eta: eta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb2.Close()
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if s, _ := mon.Suspected("a"); !s {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sawTrust := false
+	for _, s := range transitions {
+		if !s {
+			sawTrust = true
+		}
+	}
+	if !sawTrust {
+		t.Errorf("transitions %v: no trust callback after recovery", transitions)
+	}
+}

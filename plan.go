@@ -1,0 +1,94 @@
+package wanfd
+
+import (
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/qosplan"
+)
+
+// NetworkModel is a probabilistic characterization of a channel, used to
+// size constant-timeout detectors from QoS requirements (the NFD approach
+// of Chen, Toueg and Aguilera that the paper's adaptive detectors
+// generalize).
+type NetworkModel struct {
+	// LossProb is the per-message loss probability, in [0, 1).
+	LossProb float64
+	// MeanDelay and StdDevDelay characterize the one-way delay.
+	MeanDelay, StdDevDelay time.Duration
+}
+
+// QoSRequirements are detector QoS targets.
+type QoSRequirements struct {
+	// MaxDetectionTime is the hard detection-time bound T_D^U (required).
+	MaxDetectionTime time.Duration
+	// MinMistakeRecurrence, if nonzero, lower-bounds the mean time
+	// between mistakes.
+	MinMistakeRecurrence time.Duration
+	// MaxMistakeDuration, if nonzero, upper-bounds the mean mistake
+	// duration.
+	MaxMistakeDuration time.Duration
+}
+
+// DetectorPlan is a sized constant-timeout detector plus its predicted
+// QoS.
+type DetectorPlan struct {
+	// Eta is the heartbeat period to configure on the monitored process.
+	Eta time.Duration
+	// Timeout is the constant timeout δ; Margin = Timeout − MeanDelay is
+	// the constant safety margin.
+	Timeout, Margin time.Duration
+
+	// Predicted QoS under the network model.
+	PredictedDetectionBound    time.Duration
+	PredictedMeanDetection     time.Duration
+	PredictedMistakeRecurrence time.Duration
+	PredictedMistakeDuration   time.Duration
+	PredictedQueryAccuracy     float64
+}
+
+// PlanDetector sizes a constant-timeout detector: it finds the largest
+// heartbeat period (fewest messages) whose constant timeout meets all the
+// requirements under the network model. Use Build to materialize it.
+func PlanDetector(network NetworkModel, req QoSRequirements) (DetectorPlan, error) {
+	p, err := qosplan.Compute(qosplan.Network{
+		LossProb:    network.LossProb,
+		MeanDelay:   network.MeanDelay,
+		StdDevDelay: network.StdDevDelay,
+	}, qosplan.Requirements{
+		MaxDetectionTime:     req.MaxDetectionTime,
+		MinMistakeRecurrence: req.MinMistakeRecurrence,
+		MaxMistakeDuration:   req.MaxMistakeDuration,
+	})
+	if err != nil {
+		return DetectorPlan{}, err
+	}
+	return DetectorPlan{
+		Eta:                        p.Eta,
+		Timeout:                    p.Timeout,
+		Margin:                     p.Margin,
+		PredictedDetectionBound:    p.PredictedDetectionBound,
+		PredictedMeanDetection:     p.PredictedMeanDetection,
+		PredictedMistakeRecurrence: p.PredictedMistakeRecurrence,
+		PredictedMistakeDuration:   p.PredictedMistakeDuration,
+		PredictedQueryAccuracy:     p.PredictedQueryAccuracy,
+	}, nil
+}
+
+// Build materializes the plan as a running real-time detector (NFD-E: the
+// MEAN predictor plus the plan's constant margin). The monitored process
+// must send heartbeats every plan.Eta.
+func (p DetectorPlan) Build(onSuspect, onTrust func(elapsed time.Duration)) (*Detector, error) {
+	margin, err := core.NewConstantMargin("planned",
+		float64(p.Margin)/float64(time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	return NewDetector(DetectorConfig{
+		CustomPredictor: core.NewMean(),
+		CustomMargin:    margin,
+		Eta:             p.Eta,
+		OnSuspect:       onSuspect,
+		OnTrust:         onTrust,
+	})
+}

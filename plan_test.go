@@ -1,0 +1,71 @@
+package wanfd
+
+import (
+	"testing"
+	"time"
+)
+
+var testNetwork = NetworkModel{
+	LossProb:    0.004,
+	MeanDelay:   207 * time.Millisecond,
+	StdDevDelay: 9 * time.Millisecond,
+}
+
+func TestPlanDetector(t *testing.T) {
+	plan, err := PlanDetector(testNetwork, QoSRequirements{
+		MaxDetectionTime:     2 * time.Second,
+		MinMistakeRecurrence: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Eta <= 0 || plan.Timeout <= 0 {
+		t.Fatalf("degenerate plan %+v", plan)
+	}
+	if plan.PredictedDetectionBound > 2*time.Second {
+		t.Errorf("bound %v exceeds requirement", plan.PredictedDetectionBound)
+	}
+	if plan.PredictedMistakeRecurrence < time.Minute {
+		t.Errorf("T_MR %v below requirement", plan.PredictedMistakeRecurrence)
+	}
+	if plan.PredictedQueryAccuracy <= 0.9 {
+		t.Errorf("P_A = %v, implausibly low", plan.PredictedQueryAccuracy)
+	}
+}
+
+func TestPlanDetectorInfeasible(t *testing.T) {
+	if _, err := PlanDetector(testNetwork, QoSRequirements{
+		MaxDetectionTime: 50 * time.Millisecond, // below the delay floor
+	}); err == nil {
+		t.Error("infeasible bound should be rejected")
+	}
+	if _, err := PlanDetector(NetworkModel{LossProb: 2}, QoSRequirements{
+		MaxDetectionTime: time.Second,
+	}); err == nil {
+		t.Error("invalid network should be rejected")
+	}
+}
+
+func TestPlanBuild(t *testing.T) {
+	plan, err := PlanDetector(testNetwork, QoSRequirements{MaxDetectionTime: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := plan.Build(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Stop()
+	// The planned detector is NFD-E: constant margin over the MEAN
+	// predictor, so before any heartbeat the timeout equals the margin.
+	got := det.Timeout()
+	if got < plan.Margin-time.Millisecond || got > plan.Margin+time.Millisecond {
+		t.Errorf("initial timeout = %v, want the planned margin %v", got, plan.Margin)
+	}
+	det.Heartbeat(0, time.Now().Add(-200*time.Millisecond))
+	got = det.Timeout()
+	want := plan.Timeout // ≈ mean delay + margin
+	if got < want-50*time.Millisecond || got > want+50*time.Millisecond {
+		t.Errorf("post-heartbeat timeout = %v, want ≈%v", got, want)
+	}
+}

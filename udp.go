@@ -1,0 +1,276 @@
+package wanfd
+
+import (
+	"fmt"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/layers"
+	"wanfd/internal/neko"
+	"wanfd/internal/transport"
+)
+
+// MonitorConfig assembles a UDP monitor: the failure-detecting side of the
+// paper's architecture on a real network.
+type MonitorConfig struct {
+	// Listen is the local UDP address (e.g. ":7007").
+	Listen string
+	// Remote is the heartbeater's UDP address.
+	Remote string
+	// Eta is the heartbeater's sending period.
+	Eta time.Duration
+	// Predictor and Margin select the detector combination (defaults:
+	// the paper's recommendation LAST + JAC_med).
+	Predictor, Margin string
+	// AccrualThreshold, when positive, replaces the freshness-point
+	// detector with a φ-accrual detector at this threshold (8 is the
+	// common production default); Predictor and Margin are then ignored.
+	AccrualThreshold float64
+	// MinTimeout floors the adaptive timeout, riding out bootstrap and
+	// timer jitter on real hosts. Zero means 10 ms; negative disables
+	// the floor.
+	MinTimeout time.Duration
+	// TargetDetection, when positive, activates the adaptable sending
+	// period (the Bertier extension): the monitor periodically commands
+	// the heartbeater to the largest interval that keeps the worst-case
+	// detection time under this target, trading bandwidth for exactly
+	// the required detection speed. Requires a freshness-point detector
+	// (AccrualThreshold unset).
+	TargetDetection time.Duration
+	// SyncClock, when true, estimates the peer clock offset with an
+	// NTP-style exchange before monitoring, discharging the paper's
+	// synchronized-clocks assumption in-band.
+	SyncClock bool
+	// OnSuspect and OnTrust are invoked on output transitions; they must
+	// not block.
+	OnSuspect, OnTrust func(elapsed time.Duration)
+}
+
+// Monitor is a running UDP failure detector.
+type Monitor struct {
+	net *transport.UDPNetwork
+	mon *layers.Monitor
+}
+
+// Process ids used by the UDP harness (one heartbeater, one monitor).
+const (
+	udpHeartbeaterID neko.ProcessID = 1
+	udpMonitorID     neko.ProcessID = 2
+)
+
+// ListenAndMonitor opens the socket, optionally syncs clocks with the
+// remote heartbeater, and starts detecting. Close must be called to release
+// the socket.
+func ListenAndMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if cfg.Predictor == "" {
+		cfg.Predictor = "LAST"
+	}
+	if cfg.Margin == "" {
+		cfg.Margin = "JAC_med"
+	}
+	if cfg.Remote == "" {
+		return nil, fmt.Errorf("wanfd: monitor needs the heartbeater address")
+	}
+	net, err := transport.NewUDPNetwork(transport.UDPConfig{
+		LocalID: udpMonitorID,
+		Listen:  cfg.Listen,
+		Peers:   map[neko.ProcessID]string{udpHeartbeaterID: cfg.Remote},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			_ = net.Close()
+		}
+	}()
+
+	if cfg.SyncClock {
+		if _, err := net.SyncWith(udpHeartbeaterID, 8, 2*time.Second); err != nil {
+			return nil, fmt.Errorf("wanfd: clock sync: %w", err)
+		}
+	}
+	listener := callbackListener{onSuspect: cfg.OnSuspect, onTrust: cfg.OnTrust}
+	var consumer core.HeartbeatConsumer
+	if cfg.AccrualThreshold > 0 {
+		acc, err := core.NewAccrualDetector(core.AccrualDetectorConfig{
+			Threshold: cfg.AccrualThreshold,
+			Clock:     net.Clock(),
+			Listener:  listener,
+		})
+		if err != nil {
+			return nil, err
+		}
+		consumer = acc
+	} else {
+		pred, err := core.NewPredictorByName(cfg.Predictor)
+		if err != nil {
+			return nil, err
+		}
+		margin, err := core.NewMarginByName(cfg.Margin)
+		if err != nil {
+			return nil, err
+		}
+		minTimeout := cfg.MinTimeout
+		if minTimeout == 0 {
+			minTimeout = 10 * time.Millisecond
+		}
+		if minTimeout < 0 {
+			minTimeout = 0
+		}
+		det, err := core.NewDetector(core.DetectorConfig{
+			Predictor:  pred,
+			Margin:     margin,
+			Eta:        cfg.Eta,
+			Clock:      net.Clock(),
+			Listener:   listener,
+			MinTimeout: minTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		consumer = det
+	}
+	mon, err := layers.NewConsumerMonitor(consumer)
+	if err != nil {
+		return nil, err
+	}
+	stack := []neko.Layer{mon}
+	if cfg.TargetDetection > 0 {
+		det := mon.Detector()
+		if det == nil {
+			return nil, fmt.Errorf("wanfd: TargetDetection requires a freshness-point detector (unset AccrualThreshold)")
+		}
+		ctrl, err := layers.NewIntervalController(layers.IntervalControllerConfig{
+			Detector:        det,
+			TargetDetection: cfg.TargetDetection,
+			Peer:            udpHeartbeaterID,
+		})
+		if err != nil {
+			return nil, err
+		}
+		stack = []neko.Layer{ctrl, mon}
+	}
+	proc, err := neko.NewProcess(udpMonitorID, net.Clock(), net, stack...)
+	if err != nil {
+		return nil, err
+	}
+	if err := proc.Start(); err != nil {
+		return nil, err
+	}
+	ok = true
+	return &Monitor{net: net, mon: mon}, nil
+}
+
+// Suspected reports the detector's current output.
+func (m *Monitor) Suspected() bool { return m.mon.Consumer().Suspected() }
+
+// Timeout returns the current adaptive timeout of a freshness-point
+// detector; for a φ-accrual monitor it returns 0 (use Phi instead).
+func (m *Monitor) Timeout() time.Duration {
+	det := m.mon.Detector()
+	if det == nil {
+		return 0
+	}
+	return time.Duration(det.CurrentTimeout() * float64(time.Millisecond))
+}
+
+// Phi returns the φ-accrual suspicion level, or 0 for a freshness-point
+// monitor.
+func (m *Monitor) Phi() float64 {
+	if acc, ok := m.mon.Consumer().(*core.AccrualDetector); ok {
+		return acc.Phi()
+	}
+	return 0
+}
+
+// ClockOffset returns the estimated peer clock offset (0 if SyncClock was
+// not requested).
+func (m *Monitor) ClockOffset() time.Duration { return m.net.Offset(udpHeartbeaterID) }
+
+// Stats reports heartbeats processed, stale heartbeats, and suspicion
+// episodes.
+func (m *Monitor) Stats() (heartbeats, stale, suspicions uint64) {
+	type statser interface {
+		Stats() (uint64, uint64, uint64)
+	}
+	if s, ok := m.mon.Consumer().(statser); ok {
+		return s.Stats()
+	}
+	return 0, 0, 0
+}
+
+// Close stops the detector and releases the socket.
+func (m *Monitor) Close() error {
+	m.mon.Stop()
+	return m.net.Close()
+}
+
+// HeartbeaterConfig assembles a UDP heartbeater: the monitored side.
+type HeartbeaterConfig struct {
+	// Listen is the local UDP address (also answers clock-sync requests).
+	Listen string
+	// Remote is the monitor's UDP address.
+	Remote string
+	// Eta is the sending period.
+	Eta time.Duration
+}
+
+// Heartbeater is a running UDP heartbeat sender.
+type Heartbeater struct {
+	net *transport.UDPNetwork
+	hb  *layers.Heartbeater
+}
+
+// RunHeartbeater opens the socket and starts sending heartbeats every Eta.
+// Close must be called to stop sending and release the socket.
+func RunHeartbeater(cfg HeartbeaterConfig) (*Heartbeater, error) {
+	if cfg.Remote == "" {
+		return nil, fmt.Errorf("wanfd: heartbeater needs the monitor address")
+	}
+	net, err := transport.NewUDPNetwork(transport.UDPConfig{
+		LocalID: udpHeartbeaterID,
+		Listen:  cfg.Listen,
+		Peers:   map[neko.ProcessID]string{udpMonitorID: cfg.Remote},
+	})
+	if err != nil {
+		return nil, err
+	}
+	hb, err := layers.NewHeartbeater(udpMonitorID, cfg.Eta)
+	if err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	// Number cycles on the shared wall-clock grid (σ_i = i·η) so a
+	// restarted heartbeater resumes with fresh sequence numbers.
+	if err := hb.SetStartSeq(time.Now().UnixNano() / int64(cfg.Eta)); err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	proc, err := neko.NewProcess(udpHeartbeaterID, net.Clock(), net, hb)
+	if err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	if err := proc.Start(); err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	return &Heartbeater{net: net, hb: hb}, nil
+}
+
+// Sent returns the number of heartbeats emitted.
+func (h *Heartbeater) Sent() uint64 { return h.hb.Sent() }
+
+// LocalAddr returns the bound UDP address string.
+func (h *Heartbeater) LocalAddr() string { return h.net.LocalAddr().String() }
+
+// Close stops sending and releases the socket.
+func (h *Heartbeater) Close() error {
+	h.hb.Stop()
+	return h.net.Close()
+}
+
+// LocalAddr returns the monitor's bound UDP address string.
+func (m *Monitor) LocalAddr() string { return m.net.LocalAddr().String() }

@@ -1,0 +1,415 @@
+package wanfd
+
+import (
+	stdnet "net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPublicNames(t *testing.T) {
+	if got := PredictorNames(); len(got) != 5 {
+		t.Errorf("predictors = %v, want 5", got)
+	}
+	if got := MarginNames(); len(got) != 6 {
+		t.Errorf("margins = %v, want 6", got)
+	}
+	combos := Combinations()
+	if len(combos) != 30 {
+		t.Fatalf("combinations = %d, want 30", len(combos))
+	}
+	if combos[0].Name() == "" {
+		t.Error("combination name empty")
+	}
+	// Returned slices are copies.
+	ps := PredictorNames()
+	ps[0] = "HACKED"
+	if PredictorNames()[0] == "HACKED" {
+		t.Error("PredictorNames returns internal slice")
+	}
+}
+
+func TestNewPredictorAndMargin(t *testing.T) {
+	for _, n := range PredictorNames() {
+		if _, err := NewPredictor(n); err != nil {
+			t.Errorf("NewPredictor(%q): %v", n, err)
+		}
+	}
+	for _, n := range MarginNames() {
+		if _, err := NewMargin(n); err != nil {
+			t.Errorf("NewMargin(%q): %v", n, err)
+		}
+	}
+	if _, err := NewPredictor("NOPE"); err == nil {
+		t.Error("unknown predictor should fail")
+	}
+	if _, err := NewMargin("NOPE"); err == nil {
+		t.Error("unknown margin should fail")
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(DetectorConfig{Margin: "JAC_med", Eta: time.Second}); err == nil {
+		t.Error("missing predictor should fail")
+	}
+	if _, err := NewDetector(DetectorConfig{Predictor: "LAST", Eta: time.Second}); err == nil {
+		t.Error("missing margin should fail")
+	}
+	if _, err := NewDetector(DetectorConfig{Predictor: "LAST", Margin: "JAC_med"}); err == nil {
+		t.Error("missing eta should fail")
+	}
+	if _, err := NewDetector(DetectorConfig{Predictor: "NOPE", Margin: "JAC_med", Eta: time.Second}); err == nil {
+		t.Error("unknown predictor should fail")
+	}
+	if _, err := NewDetector(DetectorConfig{Predictor: "LAST", Margin: "NOPE", Eta: time.Second}); err == nil {
+		t.Error("unknown margin should fail")
+	}
+}
+
+func TestDetectorRealTimeFlow(t *testing.T) {
+	var suspects, trusts atomic.Int64
+	const eta = 100 * time.Millisecond
+	d, err := NewDetector(DetectorConfig{
+		Predictor: "LAST",
+		Margin:    "JAC_med",
+		Eta:       eta,
+		OnSuspect: func(time.Duration) { suspects.Add(1) },
+		OnTrust:   func(time.Duration) { trusts.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if d.Name() != "LAST+JAC_med" {
+		t.Errorf("name = %q", d.Name())
+	}
+	// Feed ticker-spaced heartbeats with mildly jittered claimed delays
+	// (real scheduling adds its own jitter on top; the adaptive margin
+	// must absorb it, and transient mistakes are allowed).
+	ticker := time.NewTicker(eta)
+	for i := int64(0); i < 8; i++ {
+		d.Heartbeat(i, time.Now().Add(-time.Duration(2+i%4)*time.Millisecond))
+		<-ticker.C
+	}
+	ticker.Stop()
+	lastSeq := int64(8)
+	d.Heartbeat(lastSeq, time.Now().Add(-2*time.Millisecond))
+	// A fresh heartbeat always restores trust under LAST (deadline ≈
+	// arrival + η + margin, in the future).
+	if d.Suspected() {
+		t.Error("suspected immediately after a fresh heartbeat")
+	}
+	hb, _, _ := d.Stats()
+	if hb != 9 {
+		t.Errorf("heartbeats = %d, want 9", hb)
+	}
+	if d.Timeout() <= 0 {
+		t.Errorf("timeout = %v, want positive", d.Timeout())
+	}
+	// Stop feeding: suspicion follows.
+	deadline := time.Now().Add(3 * time.Second)
+	for !d.Suspected() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !d.Suspected() {
+		t.Fatal("silence not detected")
+	}
+	if suspects.Load() == 0 {
+		t.Error("OnSuspect not invoked")
+	}
+	// Resume: trust returns.
+	d.Heartbeat(100, time.Now().Add(-2*time.Millisecond))
+	if d.Suspected() {
+		t.Error("still suspected after fresh heartbeat")
+	}
+	if trusts.Load() == 0 {
+		t.Error("OnTrust not invoked")
+	}
+}
+
+func TestDetectorCustomPredictorAndMargin(t *testing.T) {
+	pred, err := NewPredictor("MEAN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	margin, err := NewMargin("CI_low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDetector(DetectorConfig{
+		CustomPredictor: pred,
+		CustomMargin:    margin,
+		Eta:             time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if d.Name() != "MEAN+CI_low" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestAccrualPublicAPI(t *testing.T) {
+	a, err := NewAccrual(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAccrual(1, 0); err == nil {
+		t.Error("window 1 should fail")
+	}
+	for i := 0; i < 5; i++ {
+		a.Heartbeat()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.Suspected(8) {
+		t.Error("suspected immediately after heartbeats")
+	}
+	if a.Phi() < 0 {
+		t.Errorf("phi = %v, want non-negative", a.Phi())
+	}
+}
+
+// freeUDPPorts reserves n distinct loopback UDP ports and releases them,
+// so both sides of the harness can be configured with concrete addresses.
+func freeUDPPorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	conns := make([]interface{ Close() error }, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := stdnet.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, pc)
+		addrs = append(addrs, pc.LocalAddr().String())
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return addrs
+}
+
+func TestUDPMonitorHeartbeaterIntegration(t *testing.T) {
+	addrs := freeUDPPorts(t, 2)
+	hbAddr, monAddr := addrs[0], addrs[1]
+
+	hb, err := RunHeartbeater(HeartbeaterConfig{
+		Listen: hbAddr,
+		Remote: monAddr,
+		Eta:    25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	mon, err := ListenAndMonitor(MonitorConfig{
+		Listen:    monAddr,
+		Remote:    hbAddr,
+		Eta:       25 * time.Millisecond,
+		SyncClock: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	time.Sleep(500 * time.Millisecond)
+	hbCount, _, _ := mon.Stats()
+	if hbCount < 5 {
+		t.Errorf("monitor saw %d heartbeats, want several", hbCount)
+	}
+	if off := mon.ClockOffset(); off < -50*time.Millisecond || off > 50*time.Millisecond {
+		t.Errorf("loopback clock offset %v, want ≈0", off)
+	}
+	// Crash the heartbeater.
+	sent := hb.Sent()
+	_ = hb.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for !mon.Suspected() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !mon.Suspected() {
+		t.Fatal("heartbeater crash not detected over UDP")
+	}
+	if sent == 0 {
+		t.Error("heartbeater sent nothing")
+	}
+}
+
+func TestUDPConfigValidationPublic(t *testing.T) {
+	if _, err := ListenAndMonitor(MonitorConfig{Listen: ":0", Eta: time.Second}); err == nil {
+		t.Error("missing remote should fail")
+	}
+	if _, err := RunHeartbeater(HeartbeaterConfig{Listen: ":0", Eta: time.Second}); err == nil {
+		t.Error("missing remote should fail")
+	}
+	if _, err := ListenAndMonitor(MonitorConfig{
+		Listen: "127.0.0.1:0", Remote: "127.0.0.1:1", Eta: time.Second, Predictor: "NOPE",
+	}); err == nil {
+		t.Error("unknown predictor should fail")
+	}
+}
+
+func TestReproduceAccuracyPublic(t *testing.T) {
+	rows, err := ReproduceAccuracy(ChannelItalyJapan, 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].MSqErr > rows[i].MSqErr {
+			t.Error("rows not sorted")
+		}
+	}
+}
+
+func TestReproduceQoSPublic(t *testing.T) {
+	reports, err := ReproduceQoS(QoSOptions{
+		Runs:      1,
+		NumCycles: 1500,
+		MTTC:      150 * time.Second,
+		TTR:       15 * time.Second,
+		Seed:      4,
+		Combos: []Combination{
+			{Predictor: "LAST", Margin: "JAC_med"},
+			{Predictor: "MEAN", Margin: "CI_high"},
+		},
+		Baselines: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d, want 2 combos + 2 baselines", len(reports))
+	}
+	for _, r := range reports {
+		if r.Crashes == 0 {
+			t.Errorf("%s saw no crashes", r.Detector)
+		}
+		if r.PA < 0 || r.PA > 1 {
+			t.Errorf("%s PA = %v out of [0,1]", r.Detector, r.PA)
+		}
+	}
+}
+
+func TestCharacterizeChannelPublic(t *testing.T) {
+	c, err := CharacterizeChannel(ChannelItalyJapan, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanDelay < 195*time.Millisecond || c.MeanDelay > 220*time.Millisecond {
+		t.Errorf("mean delay = %v, want ≈206ms", c.MeanDelay)
+	}
+	if c.LossRate >= 0.02 {
+		t.Errorf("loss = %v, want small", c.LossRate)
+	}
+	for _, p := range []ChannelPreset{ChannelLAN, ChannelLossyMobile} {
+		if _, err := CharacterizeChannel(p, 1000, 3); err != nil {
+			t.Errorf("preset %d: %v", p, err)
+		}
+	}
+}
+
+func TestUDPAccrualMonitor(t *testing.T) {
+	addrs := freeUDPPorts(t, 2)
+	hbAddr, monAddr := addrs[0], addrs[1]
+
+	hb, err := RunHeartbeater(HeartbeaterConfig{
+		Listen: hbAddr,
+		Remote: monAddr,
+		Eta:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	mon, err := ListenAndMonitor(MonitorConfig{
+		Listen:           monAddr,
+		Remote:           hbAddr,
+		Eta:              20 * time.Millisecond,
+		AccrualThreshold: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	time.Sleep(500 * time.Millisecond)
+	hbs, _, _ := mon.Stats()
+	if hbs < 10 {
+		t.Errorf("monitor saw %d heartbeats", hbs)
+	}
+	if mon.Timeout() != 0 {
+		t.Errorf("accrual monitor Timeout = %v, want 0", mon.Timeout())
+	}
+	if mon.Phi() < 0 {
+		t.Errorf("phi = %v", mon.Phi())
+	}
+	_ = hb.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for !mon.Suspected() && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !mon.Suspected() {
+		t.Fatal("accrual monitor did not detect the crash")
+	}
+	if mon.Phi() <= 3 {
+		t.Errorf("phi = %v after crash, want above threshold", mon.Phi())
+	}
+}
+
+func TestUDPAdaptiveIntervalMonitor(t *testing.T) {
+	addrs := freeUDPPorts(t, 2)
+	hbAddr, monAddr := addrs[0], addrs[1]
+
+	hb, err := RunHeartbeater(HeartbeaterConfig{
+		Listen: hbAddr,
+		Remote: monAddr,
+		Eta:    time.Second, // deliberately slow (1 Hz) for the target
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+	mon, err := ListenAndMonitor(MonitorConfig{
+		Listen:          monAddr,
+		Remote:          hbAddr,
+		Eta:             time.Second,
+		TargetDetection: 300 * time.Millisecond, // demands η ≈ 260 ms (≈4 Hz)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	// The controller's first evaluation fires after its 10 s period; wait
+	// for the commanded interval to take effect by observing a heartbeat
+	// rate clearly above the original 1 Hz.
+	deadline := time.Now().Add(25 * time.Second)
+	sped := false
+	for time.Now().Before(deadline) {
+		before, _, _ := mon.Stats()
+		time.Sleep(time.Second)
+		after, _, _ := mon.Stats()
+		if after-before >= 3 {
+			sped = true
+			break
+		}
+	}
+	if !sped {
+		t.Fatal("heartbeat rate never rose above 1 Hz; adaptive interval not applied")
+	}
+	if mon.Suspected() {
+		t.Error("suspected while adapted heartbeats flow")
+	}
+	// TargetDetection with accrual must be rejected.
+	if _, err := ListenAndMonitor(MonitorConfig{
+		Listen: "127.0.0.1:0", Remote: hbAddr, Eta: time.Second,
+		TargetDetection: time.Second, AccrualThreshold: 8,
+	}); err == nil {
+		t.Error("TargetDetection + AccrualThreshold should be rejected")
+	}
+}
