@@ -1,18 +1,34 @@
 // Command fdmonitor runs the failure-detecting side of the paper's
-// architecture on a real network: it listens for UDP heartbeats from an
-// fdheartbeat process and logs suspicion transitions.
+// architecture on a real network: it listens for UDP heartbeats and logs
+// suspicion transitions.
 //
-// Usage:
+// Single-peer mode watches one fdheartbeat process:
 //
 //	fdmonitor -listen :7007 -remote host:7008 -eta 1s
 //	fdmonitor -listen :7007 -remote host:7008 -predictor ARIMA -margin CI_low -sync
+//
+// Cluster mode watches a whole fleet over the same socket, one detector
+// per peer, and optionally serves the aggregate state over HTTP:
+//
+//	fdmonitor -listen :7007 -peers api=10.0.0.1:7008,db=10.0.0.2:7008 -http :7070
+//
+// The HTTP endpoint exposes the live cluster:
+//
+//	GET    /cluster                       aggregate ClusterSnapshot (JSON)
+//	POST   /cluster/peers?name=N&addr=A   start monitoring one more peer
+//	DELETE /cluster/peers?name=N          stop monitoring a peer
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,31 +45,44 @@ func main() {
 func run() error {
 	var (
 		listen    = flag.String("listen", ":7007", "local UDP address")
-		remote    = flag.String("remote", "", "heartbeater UDP address (required)")
-		eta       = flag.Duration("eta", time.Second, "heartbeat period of the monitored process")
+		remote    = flag.String("remote", "", "heartbeater UDP address (single-peer mode)")
+		peersFlag = flag.String("peers", "", "comma-separated name=addr heartbeater list (cluster mode)")
+		httpAddr  = flag.String("http", "", "serve the cluster state over HTTP at this address (cluster mode)")
+		eta       = flag.Duration("eta", time.Second, "heartbeat period of the monitored processes")
 		predictor = flag.String("predictor", "LAST", "delay predictor: ARIMA, LAST, LPF, MEAN, WINMEAN")
 		margin    = flag.String("margin", "JAC_med", "safety margin: CI_low/med/high, JAC_low/med/high")
-		sync      = flag.Bool("sync", false, "estimate the peer clock offset before monitoring")
-		accrual   = flag.Float64("accrual", 0, "use a φ-accrual detector at this threshold instead of predictor+margin (0 = off)")
+		sync      = flag.Bool("sync", false, "estimate the peer clock offset before monitoring (single-peer mode)")
+		accrual   = flag.Float64("accrual", 0, "use a φ-accrual detector at this threshold instead of predictor+margin (0 = off, single-peer mode)")
 		stats     = flag.Duration("stats", 10*time.Second, "statistics print interval (0 disables)")
 	)
 	flag.Parse()
-	if *remote == "" {
-		return fmt.Errorf("-remote is required")
+	switch {
+	case *remote == "" && *peersFlag == "":
+		return fmt.Errorf("either -remote (single peer) or -peers (cluster) is required")
+	case *remote != "" && *peersFlag != "":
+		return fmt.Errorf("-remote and -peers are mutually exclusive")
+	case *httpAddr != "" && *peersFlag == "":
+		return fmt.Errorf("-http requires cluster mode (-peers)")
 	}
+	if *peersFlag != "" {
+		return runCluster(*listen, *peersFlag, *httpAddr, *eta, *predictor, *margin, *stats)
+	}
+	return runSingle(*listen, *remote, *eta, *predictor, *margin, *accrual, *sync, *stats)
+}
 
+func runSingle(listen, remote string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration) error {
 	start := time.Now()
 	stamp := func(elapsed time.Duration) string {
 		return start.Add(elapsed).Format("15:04:05.000")
 	}
 	mon, err := wanfd.ListenAndMonitor(wanfd.MonitorConfig{
-		Listen:           *listen,
-		Remote:           *remote,
-		Eta:              *eta,
-		Predictor:        *predictor,
-		Margin:           *margin,
-		AccrualThreshold: *accrual,
-		SyncClock:        *sync,
+		Listen:           listen,
+		Remote:           remote,
+		Eta:              eta,
+		Predictor:        predictor,
+		Margin:           margin,
+		AccrualThreshold: accrual,
+		SyncClock:        sync,
 		OnSuspect: func(at time.Duration) {
 			fmt.Printf("%s SUSPECT   (after %v)\n", stamp(at), at.Round(time.Millisecond))
 		},
@@ -66,34 +95,193 @@ func run() error {
 	}
 	defer mon.Close()
 	fmt.Printf("monitoring %s with %s+%s, eta %v, clock offset %v\n",
-		*remote, *predictor, *margin, *eta, mon.ClockOffset())
+		remote, predictor, margin, eta, mon.ClockOffset())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
-	if *stats > 0 {
-		ticker = time.NewTicker(*stats)
+	if stats > 0 {
+		ticker = time.NewTicker(stats)
 		tick = ticker.C
 		defer ticker.Stop()
 	}
 	for {
 		select {
 		case <-sigCh:
-			hb, stale, susp := mon.Stats()
-			fmt.Printf("shutting down: %d heartbeats (%d stale), %d suspicions\n", hb, stale, susp)
+			s := mon.DetectorStats()
+			fmt.Printf("shutting down: %d heartbeats (%d stale), %d suspicions\n",
+				s.Heartbeats, s.Stale, s.Suspicions)
 			return nil
 		case <-tick:
-			hb, stale, susp := mon.Stats()
-			if *accrual > 0 {
+			s := mon.DetectorStats()
+			if accrual > 0 {
 				fmt.Printf("%s stats: heartbeats %d (stale %d), suspicions %d, phi %.2f, suspected %v\n",
-					time.Now().Format("15:04:05.000"), hb, stale, susp, mon.Phi(), mon.Suspected())
+					time.Now().Format("15:04:05.000"), s.Heartbeats, s.Stale, s.Suspicions,
+					mon.Phi(), mon.Suspected())
 			} else {
 				fmt.Printf("%s stats: heartbeats %d (stale %d), suspicions %d, timeout %v, suspected %v\n",
-					time.Now().Format("15:04:05.000"), hb, stale, susp,
+					time.Now().Format("15:04:05.000"), s.Heartbeats, s.Stale, s.Suspicions,
 					mon.Timeout().Round(time.Millisecond), mon.Suspected())
 			}
 		}
 	}
+}
+
+// parsePeers splits "name=addr,name=addr" into pairs, preserving order.
+func parsePeers(spec string) ([][2]string, error) {
+	var out [][2]string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad peer %q: want name=addr", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate peer name %q", name)
+		}
+		seen[name] = true
+		out = append(out, [2]string{name, addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -peers list")
+	}
+	return out, nil
+}
+
+func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor, margin string, stats time.Duration) error {
+	peers, err := parsePeers(peersSpec)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	opts := []wanfd.Option{
+		wanfd.WithEta(eta),
+		wanfd.WithPredictor(predictor),
+		wanfd.WithMargin(margin),
+		wanfd.WithOnChange(func(peer string, suspected bool, at time.Duration) {
+			state := "TRUST  "
+			if suspected {
+				state = "SUSPECT"
+			}
+			fmt.Printf("%s %s %s\n", start.Add(at).Format("15:04:05.000"), state, peer)
+		}),
+	}
+	for _, p := range peers {
+		opts = append(opts, wanfd.WithPeer(p[0], p[1]))
+	}
+	mon, err := wanfd.NewMultiMonitor(listen, opts...)
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+	fmt.Printf("monitoring %d peers with %s+%s, eta %v, listening on %s\n",
+		len(peers), predictor, margin, eta, mon.LocalAddr())
+
+	var httpErr chan error
+	if httpAddr != "" {
+		httpErr = make(chan error, 1)
+		srv, ln, err := clusterServer(httpAddr, mon)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("cluster state at http://%s/cluster\n", ln.Addr())
+		go func() { httpErr <- srv.Serve(ln) }()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if stats > 0 {
+		ticker = time.NewTicker(stats)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-sigCh:
+			snap := mon.Snapshot()
+			fmt.Printf("shutting down: %d peers (%d suspected), %d heartbeats, %d suspicions\n",
+				snap.Peers, snap.Suspected, snap.Totals.Heartbeats, snap.Totals.Suspicions)
+			return nil
+		case err := <-httpErr:
+			if err != nil && err != http.ErrServerClosed {
+				return fmt.Errorf("http: %w", err)
+			}
+			return nil
+		case <-tick:
+			snap := mon.Snapshot()
+			fmt.Printf("%s cluster: %d peers, %d trusted, %d suspected, %d heartbeats (%d stale)\n",
+				time.Now().Format("15:04:05.000"), snap.Peers, snap.Trusted, snap.Suspected,
+				snap.Totals.Heartbeats, snap.Totals.Stale)
+			suspected := make([]string, 0, snap.Suspected)
+			for _, p := range snap.PeerStatuses {
+				if p.Suspected {
+					suspected = append(suspected, p.Peer)
+				}
+			}
+			sort.Strings(suspected)
+			if len(suspected) > 0 {
+				fmt.Printf("  suspected: %s\n", strings.Join(suspected, ", "))
+			}
+		}
+	}
+}
+
+// clusterServer builds the HTTP front-end over a live MultiMonitor.
+func clusterServer(addr string, mon *wanfd.MultiMonitor) (*http.Server, net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(mon.Snapshot())
+	})
+	mux.HandleFunc("/cluster/peers", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			http.Error(w, "missing name", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodPost:
+			addr := r.URL.Query().Get("addr")
+			if addr == "" {
+				http.Error(w, "missing addr", http.StatusBadRequest)
+				return
+			}
+			if err := mon.AddPeer(name, addr); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			fmt.Printf("%s JOINED  %s (%s)\n", time.Now().Format("15:04:05.000"), name, addr)
+			w.WriteHeader(http.StatusCreated)
+		case http.MethodDelete:
+			if err := mon.RemovePeer(name); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			fmt.Printf("%s LEFT    %s\n", time.Now().Format("15:04:05.000"), name)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &http.Server{Handler: mux}, ln, nil
 }

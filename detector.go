@@ -16,6 +16,15 @@ type Predictor = core.Predictor
 // SafetyMargin computes the slack added to the forecast, in milliseconds.
 type SafetyMargin = core.SafetyMargin
 
+// DetectorStats is a snapshot of a detector's lifetime counters:
+// heartbeats processed, stale (reordered or duplicate) heartbeats, and
+// suspicion episodes started.
+type DetectorStats = core.DetectorStats
+
+// StatsProvider is implemented by every detector kind that exposes
+// lifetime counters (the freshness-point and φ-accrual detectors both do).
+type StatsProvider = core.StatsProvider
+
 // PredictorNames lists the built-in predictors in the paper's order:
 // ARIMA, LAST, LPF, MEAN, WINMEAN.
 func PredictorNames() []string {
@@ -88,17 +97,28 @@ type Detector struct {
 
 type callbackListener struct {
 	onSuspect, onTrust func(time.Duration)
+	// onChange and peer serve the shared options API: WithOnChange uses
+	// the same per-peer signature on a single-peer monitor, with the
+	// remote address as the peer label.
+	onChange func(peer string, suspected bool, elapsed time.Duration)
+	peer     string
 }
 
 func (l callbackListener) OnSuspect(_ string, at time.Duration) {
 	if l.onSuspect != nil {
 		l.onSuspect(at)
 	}
+	if l.onChange != nil {
+		l.onChange(l.peer, true, at)
+	}
 }
 
 func (l callbackListener) OnTrust(_ string, at time.Duration) {
 	if l.onTrust != nil {
 		l.onTrust(at)
+	}
+	if l.onChange != nil {
+		l.onChange(l.peer, false, at)
 	}
 }
 
@@ -161,10 +181,16 @@ func (d *Detector) Timeout() time.Duration {
 // Name returns the detector's combination name.
 func (d *Detector) Name() string { return d.det.Name() }
 
+// DetectorStats returns a snapshot of the lifetime counters.
+func (d *Detector) DetectorStats() DetectorStats { return d.det.DetectorStats() }
+
 // Stats reports heartbeats processed, stale (reordered or duplicate)
 // heartbeats, and suspicion episodes started.
+//
+// Deprecated: use DetectorStats, which names the counters.
 func (d *Detector) Stats() (heartbeats, stale, suspicions uint64) {
-	return d.det.Stats()
+	s := d.DetectorStats()
+	return s.Heartbeats, s.Stale, s.Suspicions
 }
 
 // Stop cancels the detector's pending timer.

@@ -1,7 +1,9 @@
-// Fleetmonitor: watch several processes from one socket. Three heartbeaters
-// run on loopback; a MultiMonitor keeps one failure detector per peer
-// (identified by source address). We kill one peer, watch only it become
-// suspected, then bring it back.
+// Fleetmonitor: watch several processes from one socket, with membership
+// changing at runtime. Three heartbeaters run on loopback; a MultiMonitor
+// (built with the functional-options API) keeps one failure detector per
+// peer, identified by source address. We kill one peer, watch only it
+// become suspected, bring it back, then grow and shrink the fleet live
+// with AddPeer/RemovePeer.
 //
 // Run with: go run ./examples/fleetmonitor
 package main
@@ -23,25 +25,27 @@ func main() {
 		"cache-1": freePort(),
 	}
 
-	mon, err := wanfd.ListenAndMonitorMany(wanfd.MultiMonitorConfig{
-		Listen: monAddr,
-		Peers:  peers,
-		Eta:    50 * time.Millisecond,
-		OnChange: func(peer string, suspected bool, at time.Duration) {
+	opts := []wanfd.Option{
+		wanfd.WithEta(50 * time.Millisecond),
+		wanfd.WithOnChange(func(peer string, suspected bool, at time.Duration) {
 			state := "TRUST"
 			if suspected {
 				state = "SUSPECT"
 			}
 			fmt.Printf("  [%6.2fs] %-8s %s\n", at.Seconds(), peer, state)
-		},
-	})
+		}),
+	}
+	for name, addr := range peers {
+		opts = append(opts, wanfd.WithPeer(name, addr))
+	}
+	mon, err := wanfd.NewMultiMonitor(monAddr, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer mon.Close()
 
 	heartbeaters := make(map[string]*wanfd.Heartbeater, len(peers))
-	for name, addr := range peers {
+	startHB := func(name, addr string) *wanfd.Heartbeater {
 		hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{
 			Listen: addr,
 			Remote: monAddr,
@@ -51,7 +55,10 @@ func main() {
 			log.Fatal(err)
 		}
 		heartbeaters[name] = hb
-		defer hb.Close()
+		return hb
+	}
+	for name, addr := range peers {
+		defer startHB(name, addr).Close()
 	}
 
 	fmt.Println("phase 1: all peers heartbeating")
@@ -64,17 +71,31 @@ func main() {
 	printStatus(mon)
 
 	fmt.Println("phase 3: restarting db-1")
-	hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{
-		Listen: peers["db-1"],
-		Remote: monAddr,
-		Eta:    50 * time.Millisecond,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer hb.Close()
+	defer startHB("db-1", peers["db-1"]).Close()
 	time.Sleep(time.Second)
 	printStatus(mon)
+
+	fmt.Println("phase 4: web-1 joins the fleet at runtime")
+	webAddr := freePort()
+	if err := mon.AddPeer("web-1", webAddr); err != nil {
+		log.Fatal(err)
+	}
+	defer startHB("web-1", webAddr).Close()
+	time.Sleep(time.Second)
+	printStatus(mon)
+
+	fmt.Println("phase 5: cache-1 is decommissioned (removed, not suspected)")
+	if err := mon.RemovePeer("cache-1"); err != nil {
+		log.Fatal(err)
+	}
+	_ = heartbeaters["cache-1"].Close()
+	time.Sleep(500 * time.Millisecond)
+	printStatus(mon)
+
+	snap := mon.Snapshot()
+	fmt.Printf("cluster after %v: %d peers, %d trusted, %d suspected, %d heartbeats total\n",
+		snap.Uptime.Round(time.Second), snap.Peers, snap.Trusted, snap.Suspected,
+		snap.Totals.Heartbeats)
 }
 
 func printStatus(mon *wanfd.MultiMonitor) {

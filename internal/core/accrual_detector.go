@@ -26,6 +26,8 @@ type HeartbeatConsumer interface {
 var (
 	_ HeartbeatConsumer = (*Detector)(nil)
 	_ HeartbeatConsumer = (*AccrualDetector)(nil)
+	_ StatsProvider     = (*Detector)(nil)
+	_ StatsProvider     = (*AccrualDetector)(nil)
 )
 
 // AccrualDetector turns the φ-accrual suspicion level into an event-driven
@@ -45,6 +47,7 @@ type AccrualDetector struct {
 	a           *Accrual
 	hi          int64
 	suspected   bool
+	stopped     bool
 	timer       sim.Timer
 	crossing    time.Duration
 	heartbeats  uint64
@@ -110,6 +113,9 @@ func (d *AccrualDetector) Name() string { return d.name }
 func (d *AccrualDetector) OnHeartbeat(seq int64, _ time.Duration, now time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
 	d.heartbeats++
 	if seq <= d.hi {
 		d.stale++
@@ -155,7 +161,7 @@ func (d *AccrualDetector) expire() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	now := d.clock.Now()
-	if now < d.crossing || d.suspected || !d.haveArrival {
+	if d.stopped || now < d.crossing || d.suspected || !d.haveArrival {
 		return
 	}
 	d.suspected = true
@@ -179,22 +185,32 @@ func (d *AccrualDetector) Phi() float64 {
 	return d.a.Phi(d.clock.Now())
 }
 
-// Stop cancels any pending timer.
+// Stop cancels any pending timer and tears the detector down: subsequent
+// heartbeats are ignored.
 func (d *AccrualDetector) Stop() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.stopped = true
 	if d.timer != nil {
 		d.timer.Stop()
 		d.timer = nil
 	}
 }
 
-// Stats reports heartbeats processed, stale heartbeats, and suspicion
-// episodes.
-func (d *AccrualDetector) Stats() (heartbeats, stale, suspicions uint64) {
+// DetectorStats returns a snapshot of the lifetime counters.
+func (d *AccrualDetector) DetectorStats() DetectorStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.heartbeats, d.stale, d.suspicions
+	return DetectorStats{Heartbeats: d.heartbeats, Stale: d.stale, Suspicions: d.suspicions}
+}
+
+// Stats reports heartbeats processed, stale heartbeats, and suspicion
+// episodes.
+//
+// Deprecated: use DetectorStats, which names the counters.
+func (d *AccrualDetector) Stats() (heartbeats, stale, suspicions uint64) {
+	s := d.DetectorStats()
+	return s.Heartbeats, s.Stale, s.Suspicions
 }
 
 // probit is the standard normal quantile function (inverse CDF), computed

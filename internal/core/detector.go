@@ -8,6 +8,24 @@ import (
 	"wanfd/internal/sim"
 )
 
+// DetectorStats is a snapshot of a detector's lifetime counters.
+type DetectorStats struct {
+	// Heartbeats is the number of heartbeats processed (including stale
+	// ones).
+	Heartbeats uint64
+	// Stale is how many of those were reordered or duplicate.
+	Stale uint64
+	// Suspicions is the number of suspicion episodes started.
+	Suspicions uint64
+}
+
+// StatsProvider is implemented by detectors that expose lifetime counters.
+// Both the freshness-point Detector and the φ-accrual AccrualDetector
+// satisfy it.
+type StatsProvider interface {
+	DetectorStats() DetectorStats
+}
+
 // SuspicionListener receives the detector's output transitions. Callbacks
 // are invoked with the detector's name and the clock time of the
 // transition, while the detector's lock is held — listeners must not call
@@ -70,6 +88,7 @@ type Detector struct {
 	deadline  time.Duration
 	timer     sim.Timer
 	suspected bool
+	stopped   bool
 
 	heartbeats uint64
 	stale      uint64
@@ -125,6 +144,11 @@ func (d *Detector) OnHeartbeat(seq int64, sendTime, now time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
+	if d.stopped {
+		// Torn down (e.g. the peer was removed from a cluster monitor):
+		// a straggler packet must not re-arm timers on a dead detector.
+		return
+	}
 	d.heartbeats++
 	obsMs := durToMs(now - sendTime)
 	predMs := d.pred.Predict() // the prediction that was in effect
@@ -180,9 +204,10 @@ func (d *Detector) expire() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	now := d.clock.Now()
-	if now < d.deadline || d.suspected {
+	if d.stopped || now < d.deadline || d.suspected {
 		// A fresher heartbeat moved the deadline between the timer firing
-		// and acquiring the lock (real-time race), or we already suspect.
+		// and acquiring the lock (real-time race), the detector was torn
+		// down, or we already suspect.
 		return
 	}
 	d.suspected = true
@@ -236,22 +261,33 @@ func (d *Detector) Eta() time.Duration {
 	return d.eta
 }
 
-// Stop cancels any pending timer. The detector may be discarded afterwards.
+// Stop cancels any pending timer and tears the detector down: subsequent
+// heartbeats are ignored, so a stopped detector can never resurrect a timer.
+// The detector may be discarded afterwards.
 func (d *Detector) Stop() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.stopped = true
 	if d.timer != nil {
 		d.timer.Stop()
 		d.timer = nil
 	}
 }
 
-// Stats reports the number of heartbeats processed, how many were stale
-// (reordered/duplicate), and how many suspicion episodes started.
-func (d *Detector) Stats() (heartbeats, stale, suspicions uint64) {
+// DetectorStats returns a snapshot of the lifetime counters.
+func (d *Detector) DetectorStats() DetectorStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.heartbeats, d.stale, d.suspicions
+	return DetectorStats{Heartbeats: d.heartbeats, Stale: d.stale, Suspicions: d.suspicions}
+}
+
+// Stats reports the number of heartbeats processed, how many were stale
+// (reordered/duplicate), and how many suspicion episodes started.
+//
+// Deprecated: use DetectorStats, which names the counters.
+func (d *Detector) Stats() (heartbeats, stale, suspicions uint64) {
+	s := d.DetectorStats()
+	return s.Heartbeats, s.Stale, s.Suspicions
 }
 
 func durToMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

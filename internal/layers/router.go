@@ -7,19 +7,54 @@ import (
 	"wanfd/internal/neko"
 )
 
-// Router dispatches upward traffic to per-source receivers: the monitor-
-// side layer that lets one process watch many monitored processes over a
-// single network attachment, keeping one failure detector per peer.
-// Messages from unrouted sources pass up the stack unchanged.
-type Router struct {
-	neko.Base
+// routerShards is the number of independent route-table shards. Sixteen
+// keeps the per-shard maps small at cluster scale while bounding the
+// memory of an idle router.
+const routerShards = 16
+
+// shardIndex hashes a process id onto a shard with 64-bit FNV-1a, so
+// consecutive ids (the common allocation pattern) spread instead of
+// clustering.
+func shardIndex(id neko.ProcessID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	v := uint64(id)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime64
+		v >>= 8
+	}
+	return h % routerShards
+}
+
+type routerShard struct {
 	mu     sync.RWMutex
 	routes map[neko.ProcessID]neko.Receiver
 }
 
+// Router dispatches upward traffic to per-source receivers: the monitor-
+// side layer that lets one process watch many monitored processes over a
+// single network attachment, keeping one failure detector per peer.
+// Messages from unrouted sources pass up the stack unchanged.
+//
+// The route table is sharded by source id so the receive path, concurrent
+// queries and runtime Route/Unroute churn (dynamic cluster membership) do
+// not contend on a single lock.
+type Router struct {
+	neko.Base
+	shards [routerShards]routerShard
+}
+
 // NewRouter builds an empty router.
 func NewRouter() *Router {
-	return &Router{routes: make(map[neko.ProcessID]neko.Receiver)}
+	r := &Router{}
+	for i := range r.shards {
+		r.shards[i].routes = make(map[neko.ProcessID]neko.Receiver)
+	}
+	return r
 }
 
 var _ neko.Layer = (*Router)(nil)
@@ -29,20 +64,47 @@ func (r *Router) Route(from neko.ProcessID, rcv neko.Receiver) error {
 	if rcv == nil {
 		return fmt.Errorf("layers: nil receiver for source %d", from)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.routes[from]; dup {
+	s := &r.shards[shardIndex(from)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.routes[from]; dup {
 		return fmt.Errorf("layers: source %d already routed", from)
 	}
-	r.routes[from] = rcv
+	s.routes[from] = rcv
 	return nil
+}
+
+// Unroute removes the receiver for one source process; messages from it
+// pass up the stack afterwards. Unrouting an unknown source is an error.
+func (r *Router) Unroute(from neko.ProcessID) error {
+	s := &r.shards[shardIndex(from)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.routes[from]; !ok {
+		return fmt.Errorf("layers: source %d not routed", from)
+	}
+	delete(s.routes, from)
+	return nil
+}
+
+// Routed returns the number of installed routes.
+func (r *Router) Routed() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.routes)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Receive dispatches by the message's source.
 func (r *Router) Receive(m *neko.Message) {
-	r.mu.RLock()
-	rcv, ok := r.routes[m.From]
-	r.mu.RUnlock()
+	s := &r.shards[shardIndex(m.From)]
+	s.mu.RLock()
+	rcv, ok := s.routes[m.From]
+	s.mu.RUnlock()
 	if ok {
 		rcv.Receive(m)
 		return

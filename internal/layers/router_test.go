@@ -1,0 +1,224 @@
+package layers
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/neko"
+	"wanfd/internal/sim"
+)
+
+type countingReceiver struct{ n atomic.Int64 }
+
+func (c *countingReceiver) Receive(*neko.Message) { c.n.Add(1) }
+
+func TestRouterRouteUnroute(t *testing.T) {
+	r := NewRouter()
+	var routed, passedUp countingReceiver
+	r.SetAbove(&passedUp)
+	if err := r.Route(5, nil); err == nil {
+		t.Error("nil receiver accepted")
+	}
+	if err := r.Route(5, &routed); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Route(5, &routed); err == nil {
+		t.Error("duplicate route accepted")
+	}
+	if n := r.Routed(); n != 1 {
+		t.Errorf("routed = %d, want 1", n)
+	}
+
+	r.Receive(&neko.Message{From: 5, Type: neko.MsgHeartbeat})
+	r.Receive(&neko.Message{From: 6, Type: neko.MsgHeartbeat})
+	if routed.n.Load() != 1 || passedUp.n.Load() != 1 {
+		t.Errorf("routed %d / passed up %d, want 1 / 1", routed.n.Load(), passedUp.n.Load())
+	}
+
+	if err := r.Unroute(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unroute(5); err == nil {
+		t.Error("unrouting an unknown source should fail")
+	}
+	r.Receive(&neko.Message{From: 5, Type: neko.MsgHeartbeat})
+	if routed.n.Load() != 1 || passedUp.n.Load() != 2 {
+		t.Errorf("after unroute: routed %d / passed up %d, want 1 / 2", routed.n.Load(), passedUp.n.Load())
+	}
+}
+
+// TestRouterReaddFreshDetectorSimClock drives the remove/re-add cycle on
+// the virtual clock: a peer whose detector is deep in suspicion is removed
+// and re-added, and the replacement detector must start fresh — no stale
+// suspicion state, no stale counters.
+func TestRouterReaddFreshDetectorSimClock(t *testing.T) {
+	eng := sim.NewEngine()
+	newMon := func() (*Monitor, *core.Detector) {
+		pred, margin, err := (core.Combo{Predictor: "LAST", Margin: "JAC_med"}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := core.NewDetector(core.DetectorConfig{
+			Name:      "db",
+			Predictor: pred,
+			Margin:    margin,
+			Eta:       time.Second,
+			Clock:     eng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon, err := NewMonitor(det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.Init(&neko.Context{ID: 1, Clock: eng}); err != nil {
+			t.Fatal(err)
+		}
+		return mon, det
+	}
+
+	const peer neko.ProcessID = 5
+	r := NewRouter()
+	monA, detA := newMon()
+	if err := r.Route(peer, monA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three heartbeats on the 1 s grid, each delivered 100 ms after
+	// sending; then the peer falls silent and the detector must suspect.
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.At(time.Duration(i)*time.Second+100*time.Millisecond, func() {
+			r.Receive(&neko.Message{
+				From: peer, Type: neko.MsgHeartbeat,
+				Seq: int64(i), SentAt: time.Duration(i) * time.Second,
+			})
+		})
+	}
+
+	var monB *Monitor
+	var detB *core.Detector
+	eng.At(10*time.Second, func() {
+		if !detA.Suspected() {
+			t.Error("silent peer not suspected before removal")
+		}
+		// Remove: unroute and tear the old detector down...
+		if err := r.Unroute(peer); err != nil {
+			t.Error(err)
+		}
+		monA.Stop()
+		// ...then re-add under the same identity with a fresh detector.
+		monB, detB = newMon()
+		if err := r.Route(peer, monB); err != nil {
+			t.Error(err)
+		}
+		if detB.Suspected() {
+			t.Error("fresh detector born suspected")
+		}
+		if s := detB.DetectorStats(); s != (core.DetectorStats{}) {
+			t.Errorf("fresh detector has stale counters %+v", s)
+		}
+	})
+	// A straggler from the old incarnation arrives after teardown: the
+	// stopped detector must ignore it entirely.
+	eng.At(10*time.Second+time.Millisecond, func() {
+		monA.Receive(&neko.Message{From: peer, Type: neko.MsgHeartbeat, Seq: 3, SentAt: 3 * time.Second})
+	})
+	// The restarted peer resumes on the shared grid with fresh sequence
+	// numbers.
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.At(time.Duration(11+i)*time.Second+100*time.Millisecond, func() {
+			r.Receive(&neko.Message{
+				From: peer, Type: neko.MsgHeartbeat,
+				Seq: int64(11 + i), SentAt: time.Duration(11+i) * time.Second,
+			})
+		})
+	}
+	if err := eng.Run(14 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if detB.Suspected() {
+		t.Error("re-added peer suspected while heartbeating")
+	}
+	if s := detB.DetectorStats(); s.Heartbeats != 3 || s.Suspicions != 0 {
+		t.Errorf("re-added detector stats %+v, want 3 heartbeats and no suspicions", s)
+	}
+	if s := detA.DetectorStats(); s.Heartbeats != 3 {
+		t.Errorf("old detector processed a straggler after Stop: %+v", s)
+	}
+}
+
+// TestRouterConcurrentChurn hammers dispatch concurrently with route
+// churn; run under -race it is the regression test for the sharded table.
+func TestRouterConcurrentChurn(t *testing.T) {
+	r := NewRouter()
+	var sink countingReceiver
+	r.SetAbove(&sink)
+
+	const (
+		ids     = 64
+		writers = 4
+		readers = 4
+		rounds  = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rcv countingReceiver
+			for i := 0; i < rounds; i++ {
+				id := neko.ProcessID(w*ids + i%ids)
+				if err := r.Route(id, &rcv); err != nil {
+					t.Errorf("route %d: %v", id, err)
+					return
+				}
+				if err := r.Unroute(id); err != nil {
+					t.Errorf("unroute %d: %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &neko.Message{Type: neko.MsgHeartbeat}
+			for i := 0; i < rounds*ids/8; i++ {
+				m.From = neko.ProcessID(i % (writers * ids))
+				r.Receive(m)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := r.Routed(); n != 0 {
+		t.Errorf("routes leaked after churn: %d", n)
+	}
+}
+
+// TestShardIndexSpread sanity-checks that consecutive process ids do not
+// pile onto one shard.
+func TestShardIndexSpread(t *testing.T) {
+	hit := make(map[uint64]int)
+	for id := neko.ProcessID(1000); id < 1000+256; id++ {
+		hit[shardIndex(id)]++
+	}
+	if len(hit) < routerShards/2 {
+		t.Errorf("256 consecutive ids landed on only %d shards", len(hit))
+	}
+	for s, n := range hit {
+		if n > 256/routerShards*4 {
+			t.Errorf("shard %d got %d of 256 ids", s, n)
+		}
+	}
+	_ = fmt.Sprint(hit)
+}

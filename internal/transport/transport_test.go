@@ -177,8 +177,90 @@ func twoEndpoints(t *testing.T) (*UDPNetwork, *UDPNetwork) {
 	}
 	t.Cleanup(func() { b.Close() })
 	// Point a at b now that b's port is known.
-	a.peers[2] = b.LocalAddr()
+	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
 	return a, b
+}
+
+func TestUDPRuntimePeerTable(t *testing.T) {
+	a, err := NewUDPNetwork(UDPConfig{LocalID: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewUDPNetwork(UDPConfig{
+		LocalID: 2,
+		Listen:  "127.0.0.1:0",
+		Peers:   map[neko.ProcessID]string{1: a.LocalAddr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+
+	got := make(chan neko.ProcessID, 16)
+	if _, err := a.Attach(1, recvFunc(func(m *neko.Message) { got <- m.From })); err != nil {
+		t.Fatal(err)
+	}
+	sender, err := b.Attach(2, recvFunc(func(*neko.Message) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := func() neko.ProcessID {
+		t.Helper()
+		select {
+		case id := <-got:
+			return id
+		case <-time.After(5 * time.Second):
+			t.Fatal("message not delivered")
+			return 0
+		}
+	}
+
+	// Unregistered source: the self-reported From field passes through.
+	sender.Send(&neko.Message{From: 42, To: 1, Type: neko.MsgHeartbeat, SentAt: b.Clock().Now()})
+	if id := recv(); id != 42 {
+		t.Errorf("unregistered sender attributed as %d, want self-reported 42", id)
+	}
+
+	// Registered at runtime: the source address is authoritative.
+	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if n := a.Peers(); n != 1 {
+		t.Errorf("peers = %d, want 1", n)
+	}
+	sender.Send(&neko.Message{From: 42, To: 1, Type: neko.MsgHeartbeat, Seq: 1, SentAt: b.Clock().Now()})
+	if id := recv(); id != 2 {
+		t.Errorf("registered sender attributed as %d, want 2", id)
+	}
+
+	// Uniqueness rules.
+	if err := a.AddPeer(2, "127.0.0.1:1"); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := a.AddPeer(3, b.LocalAddr().String()); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if err := a.AddPeer(4, "not::an::addr"); err == nil {
+		t.Error("bad address accepted")
+	}
+
+	// Removal restores pass-through attribution.
+	if err := a.RemovePeer(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RemovePeer(2); err == nil {
+		t.Error("removing an unknown peer should fail")
+	}
+	if n := a.Peers(); n != 0 {
+		t.Errorf("peers = %d, want 0", n)
+	}
+	sender.Send(&neko.Message{From: 42, To: 1, Type: neko.MsgHeartbeat, Seq: 2, SentAt: b.Clock().Now()})
+	if id := recv(); id != 42 {
+		t.Errorf("removed sender attributed as %d, want self-reported 42", id)
+	}
 }
 
 func TestUDPMessageDelivery(t *testing.T) {

@@ -27,12 +27,17 @@ type UDPConfig struct {
 // local run clock, after subtracting the peer clock offset estimated by
 // SyncWith.
 type UDPNetwork struct {
-	cfg    UDPConfig
-	conn   *net.UDPConn
+	cfg   UDPConfig
+	conn  *net.UDPConn
+	epoch time.Time
+	clk   *sim.RealClock
+
+	// peerMu guards the peer table, which is mutable at runtime (AddPeer/
+	// RemovePeer) so a cluster monitor can change membership without
+	// dropping the socket.
+	peerMu sync.RWMutex
 	peers  map[neko.ProcessID]*net.UDPAddr
 	byAddr map[string]neko.ProcessID
-	epoch  time.Time
-	clk    *sim.RealClock
 
 	mu       sync.Mutex
 	receiver neko.Receiver
@@ -102,6 +107,68 @@ func (n *UDPNetwork) LocalAddr() *net.UDPAddr {
 
 var _ neko.Network = (*UDPNetwork)(nil)
 
+// AddPeer registers a peer id and address at runtime. The id and the
+// address must both be new: addresses identify senders, so two ids sharing
+// one address would be indistinguishable on receive.
+func (n *UDPNetwork) AddPeer(id neko.ProcessID, addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %d %q: %w", id, addr, err)
+	}
+	key := a.String()
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	if _, dup := n.peers[id]; dup {
+		return fmt.Errorf("transport: peer %d already registered", id)
+	}
+	if other, dup := n.byAddr[key]; dup {
+		return fmt.Errorf("transport: address %s already registered as peer %d", a, other)
+	}
+	n.peers[id] = a
+	n.byAddr[key] = id
+	return nil
+}
+
+// RemovePeer deletes a peer registration (and any stored clock offset).
+// Packets from its address are no longer attributed to the id.
+func (n *UDPNetwork) RemovePeer(id neko.ProcessID) error {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	a, ok := n.peers[id]
+	if !ok {
+		return fmt.Errorf("transport: unknown peer %d", id)
+	}
+	delete(n.peers, id)
+	delete(n.byAddr, a.String())
+	n.mu.Lock()
+	delete(n.offsets, id)
+	n.mu.Unlock()
+	return nil
+}
+
+// Peers returns the number of registered peers.
+func (n *UDPNetwork) Peers() int {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	return len(n.peers)
+}
+
+// peerAddr looks up a peer's address.
+func (n *UDPNetwork) peerAddr(id neko.ProcessID) (*net.UDPAddr, bool) {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	a, ok := n.peers[id]
+	return a, ok
+}
+
+// peerID looks up the peer registered at a source address.
+func (n *UDPNetwork) peerID(addr string) (neko.ProcessID, bool) {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	id, ok := n.byAddr[addr]
+	return id, ok
+}
+
 // Attach implements neko.Network for the configured local process.
 func (n *UDPNetwork) Attach(id neko.ProcessID, r neko.Receiver) (neko.Sender, error) {
 	if id != n.cfg.LocalID {
@@ -124,7 +191,7 @@ type udpSender struct{ n *UDPNetwork }
 func (s udpSender) Send(m *neko.Message) { s.n.send(m) }
 
 func (n *UDPNetwork) send(m *neko.Message) {
-	addr, ok := n.peers[m.To]
+	addr, ok := n.peerAddr(m.To)
 	if !ok {
 		return
 	}
@@ -168,7 +235,7 @@ func (n *UDPNetwork) readLoop() {
 		// field, so several remote heartbeaters can coexist without
 		// coordinating process ids.
 		if raddr != nil {
-			if id, ok := n.byAddr[raddr.String()]; ok {
+			if id, ok := n.peerID(raddr.String()); ok {
 				m.From = id
 			}
 		}
@@ -216,7 +283,7 @@ func (n *UDPNetwork) handleTimeReq(m *neko.Message) {
 		Type: MsgTimeResp,
 		Seq:  m.Seq,
 	}
-	addr, ok := n.peers[m.From]
+	addr, ok := n.peerAddr(m.From)
 	if !ok {
 		return
 	}
@@ -256,7 +323,7 @@ func (n *UDPNetwork) handleTimeResp(m *neko.Message, _ time.Duration) {
 // it for inbound timestamp correction, and returns it. Rounds that time out
 // are skipped; at least one successful round is required.
 func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Duration) (time.Duration, error) {
-	addr, ok := n.peers[peer]
+	addr, ok := n.peerAddr(peer)
 	if !ok {
 		return 0, fmt.Errorf("transport: unknown peer %d", peer)
 	}

@@ -3,6 +3,8 @@ package wanfd
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"wanfd/internal/core"
@@ -15,6 +17,10 @@ import (
 // peers over one UDP socket, with one failure detector per peer. Peers are
 // identified by their source address, so every remote just runs a plain
 // fdheartbeat/RunHeartbeater pointed at this monitor.
+//
+// New code should prefer NewMultiMonitor with functional options, which
+// additionally starts with an empty (or seeded) peer set and grows and
+// shrinks it at runtime through AddPeer/RemovePeer.
 type MultiMonitorConfig struct {
 	// Listen is the local UDP address.
 	Listen string
@@ -29,12 +35,13 @@ type MultiMonitorConfig struct {
 	// OnChange, when non-nil, is invoked on any peer's suspicion
 	// transition; it must not block.
 	OnChange func(peer string, suspected bool, elapsed time.Duration)
-	// MinTimeout floors the adaptive timeout (0 means 10 ms; negative
-	// disables the floor).
+	// MinTimeout floors the adaptive timeout; see WithMinTimeout for the
+	// sentinel convention.
 	MinTimeout time.Duration
 }
 
-// PeerStatus is one peer's current detector state.
+// PeerStatus is one peer's current detector state. The lifetime counters
+// are the embedded DetectorStats fields.
 type PeerStatus struct {
 	// Peer is the configured peer name.
 	Peer string
@@ -42,16 +49,70 @@ type PeerStatus struct {
 	Suspected bool
 	// Timeout is the current adaptive timeout.
 	Timeout time.Duration
-	// Heartbeats, Stale and Suspicions are the detector counters.
-	Heartbeats, Stale, Suspicions uint64
+	// DetectorStats carries the Heartbeats, Stale and Suspicions counters.
+	DetectorStats
 }
 
-// MultiMonitor is a running multi-peer UDP failure detector.
+// ClusterSnapshot is an aggregate view of a MultiMonitor: membership size,
+// how many peers are currently trusted or suspected, the summed detector
+// counters, and the per-peer breakdown. It marshals directly to JSON for
+// the fdmonitor HTTP endpoint.
+type ClusterSnapshot struct {
+	// Uptime is the time since the monitor started.
+	Uptime time.Duration
+	// Peers is the current membership size.
+	Peers int
+	// Trusted and Suspected count the peers by detector output.
+	Trusted, Suspected int
+	// Totals sums every peer's detector counters.
+	Totals DetectorStats
+	// PeerStatuses is the per-peer breakdown, sorted by name.
+	PeerStatuses []PeerStatus
+}
+
+// peerShards is the number of independent shards of the peer table.
+// Queries, membership churn and (through the equally sharded
+// layers.Router) the UDP receive path contend per shard, not globally.
+const peerShards = 16
+
+// peerShardIndex hashes a peer name onto its shard with an inline FNV-1a
+// (allocation-free on the query path, unlike hash/fnv over a copied name).
+func peerShardIndex(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h % peerShards
+}
+
+// peerEntry is one live member: its transport identity and its detector
+// stack.
+type peerEntry struct {
+	name string
+	addr string
+	id   neko.ProcessID
+	det  *core.Detector
+	mon  *layers.Monitor
+}
+
+type peerShard struct {
+	mu    sync.RWMutex
+	peers map[string]*peerEntry
+}
+
+// MultiMonitor is a running multi-peer UDP failure detector with dynamic
+// membership: AddPeer and RemovePeer change the monitored set at runtime
+// without dropping the socket or perturbing other peers' timers. All
+// methods are safe for concurrent use.
 type MultiMonitor struct {
-	net       *transport.UDPNetwork
-	detectors map[string]*core.Detector
-	monitors  []*layers.Monitor
-	names     []string
+	net    *transport.UDPNetwork
+	router *layers.Router
+	ctx    *neko.Context
+	opts   options
+	start  time.Time
+	nextID atomic.Int64 // next peer ProcessID; monotonic, never reused
+	shards [peerShards]peerShard
 }
 
 // multiMonitorID is the local process id of the multi-monitor; peers get
@@ -75,132 +136,280 @@ func (l namedListener) OnTrust(_ string, at time.Duration) {
 	}
 }
 
-// ListenAndMonitorMany opens the socket and starts one detector per peer.
-// Close must be called to release the socket.
+// NewMultiMonitor opens the socket and starts a cluster monitor over any
+// peers seeded with WithPeer; more join and leave at runtime through
+// AddPeer/RemovePeer. Close must be called to release the socket.
+func NewMultiMonitor(listen string, opts ...Option) (*MultiMonitor, error) {
+	return newMultiMonitor(listen, resolveOptions(opts))
+}
+
+func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
+	if err := o.rejectMonitorOnly("NewMultiMonitor"); err != nil {
+		return nil, err
+	}
+	// Validate the detector recipe once up front, so a bad predictor or
+	// margin name fails at construction even with an empty initial set.
+	if _, err := core.NewPredictorByName(o.predictor); err != nil {
+		return nil, err
+	}
+	if _, err := core.NewMarginByName(o.margin); err != nil {
+		return nil, err
+	}
+	net, err := transport.NewUDPNetwork(transport.UDPConfig{
+		LocalID: multiMonitorID,
+		Listen:  listen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mm := &MultiMonitor{
+		net:    net,
+		router: layers.NewRouter(),
+		opts:   o,
+		start:  time.Now(),
+	}
+	mm.nextID.Store(int64(multiMonitorID) + 1)
+	for i := range mm.shards {
+		mm.shards[i].peers = make(map[string]*peerEntry)
+	}
+	mm.ctx = &neko.Context{ID: multiMonitorID, Clock: net.Clock()}
+	proc, err := neko.NewProcess(multiMonitorID, net.Clock(), net, mm.router)
+	if err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	if err := proc.Start(); err != nil {
+		_ = net.Close()
+		return nil, err
+	}
+	for _, p := range o.peers {
+		if err := mm.AddPeer(p.name, p.addr); err != nil {
+			_ = mm.Close()
+			return nil, err
+		}
+	}
+	return mm, nil
+}
+
+// ListenAndMonitorMany opens the socket and starts one detector per
+// configured peer. Close must be called to release the socket.
+//
+// It is a thin wrapper over NewMultiMonitor kept for compatibility; unlike
+// NewMultiMonitor it insists on a non-empty initial peer set.
 func ListenAndMonitorMany(cfg MultiMonitorConfig) (*MultiMonitor, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("wanfd: multi-monitor needs at least one peer")
 	}
-	if cfg.Predictor == "" {
-		cfg.Predictor = "LAST"
+	o := options{
+		eta:        cfg.Eta,
+		predictor:  cfg.Predictor,
+		margin:     cfg.Margin,
+		minTimeout: cfg.MinTimeout,
+		onChange:   cfg.OnChange,
 	}
-	if cfg.Margin == "" {
-		cfg.Margin = "JAC_med"
-	}
+	o.normalize()
+	// Seed in sorted order so process ids are deterministic for a given
+	// configuration, as they were when the peer set was frozen.
 	names := make([]string, 0, len(cfg.Peers))
 	for name := range cfg.Peers {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-
-	peerIDs := make(map[neko.ProcessID]string, len(names))
-	peerAddrs := make(map[neko.ProcessID]string, len(names))
-	for i, name := range names {
-		id := multiMonitorID + 1 + neko.ProcessID(i)
-		peerIDs[id] = name
-		peerAddrs[id] = cfg.Peers[name]
+	for _, name := range names {
+		o.peers = append(o.peers, peerSpec{name: name, addr: cfg.Peers[name]})
 	}
+	return newMultiMonitor(cfg.Listen, o)
+}
 
-	net, err := transport.NewUDPNetwork(transport.UDPConfig{
-		LocalID: multiMonitorID,
-		Listen:  cfg.Listen,
-		Peers:   peerAddrs,
+// AddPeer starts monitoring one more peer, identified by the source
+// address its heartbeats will arrive from. The peer gets a fresh detector
+// and a fresh process id — re-adding a previously removed name never
+// resurrects old suspicion state. Names and addresses must be unique
+// within the cluster.
+func (m *MultiMonitor) AddPeer(name, addr string) error {
+	if name == "" {
+		return fmt.Errorf("wanfd: empty peer name")
+	}
+	// Build the whole detector stack before touching the shard, so the
+	// critical section other peers' queries (and a same-shard removal)
+	// contend with is only the publication below, not the construction.
+	pred, err := core.NewPredictorByName(m.opts.predictor)
+	if err != nil {
+		return err
+	}
+	margin, err := core.NewMarginByName(m.opts.margin)
+	if err != nil {
+		return err
+	}
+	det, err := core.NewDetector(core.DetectorConfig{
+		Name:       name,
+		Predictor:  pred,
+		Margin:     margin,
+		Eta:        m.opts.eta,
+		Clock:      m.ctx.Clock,
+		Listener:   namedListener{name: name, onChange: m.opts.onChange},
+		MinTimeout: m.opts.minTimeout,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ok := false
-	defer func() {
-		if !ok {
-			_ = net.Close()
-		}
-	}()
-
-	router := layers.NewRouter()
-	mm := &MultiMonitor{
-		net:       net,
-		detectors: make(map[string]*core.Detector, len(names)),
-		names:     names,
-	}
-	ctx := &neko.Context{ID: multiMonitorID, Clock: net.Clock()}
-	for id, name := range peerIDs {
-		pred, err := core.NewPredictorByName(cfg.Predictor)
-		if err != nil {
-			return nil, err
-		}
-		margin, err := core.NewMarginByName(cfg.Margin)
-		if err != nil {
-			return nil, err
-		}
-		minTimeout := cfg.MinTimeout
-		if minTimeout == 0 {
-			minTimeout = 10 * time.Millisecond
-		}
-		if minTimeout < 0 {
-			minTimeout = 0
-		}
-		det, err := core.NewDetector(core.DetectorConfig{
-			Name:       name,
-			Predictor:  pred,
-			Margin:     margin,
-			Eta:        cfg.Eta,
-			Clock:      net.Clock(),
-			Listener:   namedListener{name: name, onChange: cfg.OnChange},
-			MinTimeout: minTimeout,
-		})
-		if err != nil {
-			return nil, err
-		}
-		mon, err := layers.NewMonitor(det)
-		if err != nil {
-			return nil, err
-		}
-		if err := mon.Init(ctx); err != nil {
-			return nil, err
-		}
-		if err := router.Route(id, mon); err != nil {
-			return nil, err
-		}
-		mm.detectors[name] = det
-		mm.monitors = append(mm.monitors, mon)
-	}
-	proc, err := neko.NewProcess(multiMonitorID, net.Clock(), net, router)
+	mon, err := layers.NewMonitor(det)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if err := proc.Start(); err != nil {
-		return nil, err
+	if err := mon.Init(m.ctx); err != nil {
+		return err
 	}
-	ok = true
-	return mm, nil
+	s := &m.shards[peerShardIndex(name)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.peers[name]; dup {
+		mon.Stop()
+		return fmt.Errorf("wanfd: peer %q already monitored", name)
+	}
+	id := neko.ProcessID(m.nextID.Add(1) - 1)
+	// Route before registering the address: the instant the transport can
+	// attribute packets to this id, the detector is already reachable.
+	if err := m.router.Route(id, mon); err != nil {
+		mon.Stop()
+		return err
+	}
+	if err := m.net.AddPeer(id, addr); err != nil {
+		_ = m.router.Unroute(id)
+		mon.Stop()
+		return err
+	}
+	s.peers[name] = &peerEntry{name: name, addr: addr, id: id, det: det, mon: mon}
+	return nil
+}
+
+// RemovePeer stops monitoring a peer and tears its detector down. Other
+// peers' detectors and timers are untouched; packets still in flight from
+// the removed peer are ignored.
+func (m *MultiMonitor) RemovePeer(name string) error {
+	s := &m.shards[peerShardIndex(name)]
+	s.mu.Lock()
+	e, ok := s.peers[name]
+	if ok {
+		delete(s.peers, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("wanfd: unknown peer %q", name)
+	}
+	// Unregister the address first so new packets stop being attributed,
+	// then unroute and stop: a packet already past the transport lookup
+	// still finds a live (about-to-stop) detector, and a straggler
+	// arriving after Stop is discarded by the detector itself.
+	_ = m.net.RemovePeer(e.id)
+	_ = m.router.Unroute(e.id)
+	e.mon.Stop()
+	return nil
+}
+
+// lookup finds a live peer entry.
+func (m *MultiMonitor) lookup(name string) (*peerEntry, bool) {
+	s := &m.shards[peerShardIndex(name)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.peers[name]
+	return e, ok
 }
 
 // Suspected reports whether the named peer is currently suspected; unknown
 // peers report an error.
 func (m *MultiMonitor) Suspected(peer string) (bool, error) {
-	det, ok := m.detectors[peer]
+	e, ok := m.lookup(peer)
 	if !ok {
 		return false, fmt.Errorf("wanfd: unknown peer %q", peer)
 	}
-	return det.Suspected(), nil
+	return e.det.Suspected(), nil
 }
 
-// Status returns every peer's state, sorted by peer name.
-func (m *MultiMonitor) Status() []PeerStatus {
-	out := make([]PeerStatus, 0, len(m.names))
-	for _, name := range m.names {
-		det := m.detectors[name]
-		hb, stale, susp := det.Stats()
-		out = append(out, PeerStatus{
-			Peer:       name,
-			Suspected:  det.Suspected(),
-			Timeout:    time.Duration(det.CurrentTimeout() * float64(time.Millisecond)),
-			Heartbeats: hb,
-			Stale:      stale,
-			Suspicions: susp,
-		})
+// PeerStatusOf returns one peer's full status; unknown peers report an
+// error.
+func (m *MultiMonitor) PeerStatusOf(peer string) (PeerStatus, error) {
+	e, ok := m.lookup(peer)
+	if !ok {
+		return PeerStatus{}, fmt.Errorf("wanfd: unknown peer %q", peer)
+	}
+	return e.status(), nil
+}
+
+// status builds the PeerStatus of one live entry.
+func (e *peerEntry) status() PeerStatus {
+	return PeerStatus{
+		Peer:          e.name,
+		Suspected:     e.det.Suspected(),
+		Timeout:       time.Duration(e.det.CurrentTimeout() * float64(time.Millisecond)),
+		DetectorStats: e.det.DetectorStats(),
+	}
+}
+
+// entries snapshots the live peer entries shard by shard.
+func (m *MultiMonitor) entries() []*peerEntry {
+	out := make([]*peerEntry, 0, m.Peers())
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, e := range s.peers {
+			out = append(out, e)
+		}
+		s.mu.RUnlock()
 	}
 	return out
+}
+
+// Status returns every peer's state, sorted by peer name. Membership may
+// change concurrently; the result is a consistent per-peer (not
+// cross-peer) snapshot. Statuses are built shard by shard in one pass —
+// the detector's own lock nests safely under a shard read lock.
+func (m *MultiMonitor) Status() []PeerStatus {
+	out := make([]PeerStatus, 0, m.Peers())
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, e := range s.peers {
+			out = append(out, e.status())
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// Peers returns the current membership size.
+func (m *MultiMonitor) Peers() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.peers)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Snapshot aggregates the whole cluster: counts by output, summed
+// counters, uptime, and the per-peer breakdown.
+func (m *MultiMonitor) Snapshot() ClusterSnapshot {
+	st := m.Status()
+	snap := ClusterSnapshot{
+		Uptime:       time.Since(m.start),
+		Peers:        len(st),
+		PeerStatuses: st,
+	}
+	for _, s := range st {
+		if s.Suspected {
+			snap.Suspected++
+		} else {
+			snap.Trusted++
+		}
+		snap.Totals.Heartbeats += s.Heartbeats
+		snap.Totals.Stale += s.Stale
+		snap.Totals.Suspicions += s.Suspicions
+	}
+	return snap
 }
 
 // LocalAddr returns the bound UDP address string.
@@ -208,8 +417,8 @@ func (m *MultiMonitor) LocalAddr() string { return m.net.LocalAddr().String() }
 
 // Close stops every detector and releases the socket.
 func (m *MultiMonitor) Close() error {
-	for _, mon := range m.monitors {
-		mon.Stop()
+	for _, e := range m.entries() {
+		e.mon.Stop()
 	}
 	return m.net.Close()
 }

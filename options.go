@@ -1,0 +1,168 @@
+package wanfd
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures the functional-options entry points NewMonitor and
+// NewMultiMonitor. Both share one option vocabulary and one defaulting
+// pass, so a predictor/margin/floor choice reads identically whether one
+// peer or a whole fleet is monitored:
+//
+//	mon, err := wanfd.NewMultiMonitor(":7007",
+//		wanfd.WithEta(time.Second),
+//		wanfd.WithPredictor("LAST"),
+//		wanfd.WithMargin("JAC_med"),
+//		wanfd.WithOnChange(onChange))
+//
+// Options that only make sense for one entry point (for example
+// WithAccrualThreshold on a cluster monitor) are rejected with an error at
+// construction time rather than silently ignored.
+type Option func(*options)
+
+// options is the normalized configuration shared by every monitor entry
+// point — the single home of the defaulting rules that MonitorConfig and
+// MultiMonitorConfig used to duplicate.
+type options struct {
+	eta              time.Duration
+	predictor        string
+	margin           string
+	minTimeout       time.Duration
+	accrualThreshold float64
+	targetDetection  time.Duration
+	syncClock        bool
+	onChange         func(peer string, suspected bool, elapsed time.Duration)
+	onSuspect        func(elapsed time.Duration)
+	onTrust          func(elapsed time.Duration)
+	peers            []peerSpec
+}
+
+// peerSpec is one initial cluster member.
+type peerSpec struct{ name, addr string }
+
+// defaultMinTimeout is the adaptive-timeout floor applied when none is
+// requested; it rides out the bootstrap phase on real hosts (see
+// core.DetectorConfig.MinTimeout).
+const defaultMinTimeout = 10 * time.Millisecond
+
+// normalize applies the shared defaulting conventions. This is the one
+// place the sentinel rules live:
+//
+//   - Predictor defaults to "LAST" and Margin to "JAC_med" — the paper's
+//     recommended combination.
+//   - MinTimeout is a three-way sentinel: zero means "use the default
+//     floor" (10 ms), negative means "no floor at all" (the paper's
+//     detectors, normalized to 0), positive is the floor itself.
+func (o *options) normalize() {
+	if o.predictor == "" {
+		o.predictor = "LAST"
+	}
+	if o.margin == "" {
+		o.margin = "JAC_med"
+	}
+	switch {
+	case o.minTimeout == 0:
+		o.minTimeout = defaultMinTimeout
+	case o.minTimeout < 0:
+		o.minTimeout = 0
+	}
+}
+
+// resolveOptions builds the normalized configuration for a functional-
+// options entry point. Eta defaults to the paper's 1 s heartbeat period.
+func resolveOptions(opts []Option) options {
+	o := options{eta: time.Second}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	o.normalize()
+	return o
+}
+
+// WithEta sets the heartbeat period η the monitored processes use
+// (default 1 s, the paper's setting).
+func WithEta(eta time.Duration) Option {
+	return func(o *options) { o.eta = eta }
+}
+
+// WithPredictor selects the delay predictor (ARIMA, LAST, LPF, MEAN,
+// WINMEAN; default LAST).
+func WithPredictor(name string) Option {
+	return func(o *options) { o.predictor = name }
+}
+
+// WithMargin selects the safety margin (CI_low/med/high, JAC_low/med/high;
+// default JAC_med).
+func WithMargin(name string) Option {
+	return func(o *options) { o.margin = name }
+}
+
+// WithMinTimeout floors the adaptive timeout. The sentinel convention is
+// documented on options.normalize: 0 selects the 10 ms default floor and a
+// negative value disables the floor entirely.
+func WithMinTimeout(d time.Duration) Option {
+	return func(o *options) { o.minTimeout = d }
+}
+
+// WithOnChange installs the per-peer transition callback invoked on any
+// suspicion change; it must not block. On a single-peer Monitor the peer
+// argument is the remote address.
+func WithOnChange(fn func(peer string, suspected bool, elapsed time.Duration)) Option {
+	return func(o *options) { o.onChange = fn }
+}
+
+// WithOnSuspect installs a suspicion-start callback (single-peer Monitor
+// form); it must not block.
+func WithOnSuspect(fn func(elapsed time.Duration)) Option {
+	return func(o *options) { o.onSuspect = fn }
+}
+
+// WithOnTrust installs a suspicion-end callback (single-peer Monitor
+// form); it must not block.
+func WithOnTrust(fn func(elapsed time.Duration)) Option {
+	return func(o *options) { o.onTrust = fn }
+}
+
+// WithAccrualThreshold replaces the freshness-point detector with a
+// φ-accrual detector at the given threshold (8 is the common production
+// default). Only NewMonitor supports it.
+func WithAccrualThreshold(phi float64) Option {
+	return func(o *options) { o.accrualThreshold = phi }
+}
+
+// WithTargetDetection activates the adaptable sending period (the Bertier
+// extension) aiming at the given worst-case detection time. Only
+// NewMonitor supports it.
+func WithTargetDetection(d time.Duration) Option {
+	return func(o *options) { o.targetDetection = d }
+}
+
+// WithSyncClock estimates the peer clock offset with an NTP-style exchange
+// before monitoring. Only NewMonitor supports it.
+func WithSyncClock() Option {
+	return func(o *options) { o.syncClock = true }
+}
+
+// WithPeer seeds a cluster monitor with one initial member; repeat for
+// several. Only NewMultiMonitor supports it — more members can join later
+// through AddPeer.
+func WithPeer(name, addr string) Option {
+	return func(o *options) { o.peers = append(o.peers, peerSpec{name: name, addr: addr}) }
+}
+
+// rejectMonitorOnly returns an error when o carries options a cluster
+// monitor cannot honour.
+func (o *options) rejectMonitorOnly(entry string) error {
+	switch {
+	case o.accrualThreshold != 0:
+		return fmt.Errorf("wanfd: %s does not support WithAccrualThreshold", entry)
+	case o.targetDetection != 0:
+		return fmt.Errorf("wanfd: %s does not support WithTargetDetection", entry)
+	case o.syncClock:
+		return fmt.Errorf("wanfd: %s does not support WithSyncClock", entry)
+	}
+	return nil
+}

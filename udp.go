@@ -27,8 +27,8 @@ type MonitorConfig struct {
 	// common production default); Predictor and Margin are then ignored.
 	AccrualThreshold float64
 	// MinTimeout floors the adaptive timeout, riding out bootstrap and
-	// timer jitter on real hosts. Zero means 10 ms; negative disables
-	// the floor.
+	// timer jitter on real hosts; see WithMinTimeout for the sentinel
+	// convention (zero selects the default floor, negative disables it).
 	MinTimeout time.Duration
 	// TargetDetection, when positive, activates the adaptable sending
 	// period (the Bertier extension): the monitor periodically commands
@@ -62,19 +62,45 @@ const (
 // remote heartbeater, and starts detecting. Close must be called to release
 // the socket.
 func ListenAndMonitor(cfg MonitorConfig) (*Monitor, error) {
-	if cfg.Predictor == "" {
-		cfg.Predictor = "LAST"
+	o := options{
+		eta:              cfg.Eta,
+		predictor:        cfg.Predictor,
+		margin:           cfg.Margin,
+		minTimeout:       cfg.MinTimeout,
+		accrualThreshold: cfg.AccrualThreshold,
+		targetDetection:  cfg.TargetDetection,
+		syncClock:        cfg.SyncClock,
+		onSuspect:        cfg.OnSuspect,
+		onTrust:          cfg.OnTrust,
 	}
-	if cfg.Margin == "" {
-		cfg.Margin = "JAC_med"
+	o.normalize()
+	return newUDPMonitor(cfg.Listen, cfg.Remote, o)
+}
+
+// NewMonitor is the functional-options form of ListenAndMonitor, sharing
+// its option vocabulary with NewMultiMonitor:
+//
+//	mon, err := wanfd.NewMonitor(":7007", "host:7008",
+//		wanfd.WithEta(time.Second),
+//		wanfd.WithPredictor("ARIMA"), wanfd.WithMargin("CI_low"))
+//
+// Close must be called to release the socket.
+func NewMonitor(listen, remote string, opts ...Option) (*Monitor, error) {
+	o := resolveOptions(opts)
+	if len(o.peers) > 0 {
+		return nil, fmt.Errorf("wanfd: NewMonitor does not support WithPeer (use NewMultiMonitor)")
 	}
-	if cfg.Remote == "" {
+	return newUDPMonitor(listen, remote, o)
+}
+
+func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
+	if remote == "" {
 		return nil, fmt.Errorf("wanfd: monitor needs the heartbeater address")
 	}
 	net, err := transport.NewUDPNetwork(transport.UDPConfig{
 		LocalID: udpMonitorID,
-		Listen:  cfg.Listen,
-		Peers:   map[neko.ProcessID]string{udpHeartbeaterID: cfg.Remote},
+		Listen:  listen,
+		Peers:   map[neko.ProcessID]string{udpHeartbeaterID: remote},
 	})
 	if err != nil {
 		return nil, err
@@ -86,16 +112,21 @@ func ListenAndMonitor(cfg MonitorConfig) (*Monitor, error) {
 		}
 	}()
 
-	if cfg.SyncClock {
+	if o.syncClock {
 		if _, err := net.SyncWith(udpHeartbeaterID, 8, 2*time.Second); err != nil {
 			return nil, fmt.Errorf("wanfd: clock sync: %w", err)
 		}
 	}
-	listener := callbackListener{onSuspect: cfg.OnSuspect, onTrust: cfg.OnTrust}
+	listener := callbackListener{
+		onSuspect: o.onSuspect,
+		onTrust:   o.onTrust,
+		onChange:  o.onChange,
+		peer:      remote,
+	}
 	var consumer core.HeartbeatConsumer
-	if cfg.AccrualThreshold > 0 {
+	if o.accrualThreshold > 0 {
 		acc, err := core.NewAccrualDetector(core.AccrualDetectorConfig{
-			Threshold: cfg.AccrualThreshold,
+			Threshold: o.accrualThreshold,
 			Clock:     net.Clock(),
 			Listener:  listener,
 		})
@@ -104,28 +135,21 @@ func ListenAndMonitor(cfg MonitorConfig) (*Monitor, error) {
 		}
 		consumer = acc
 	} else {
-		pred, err := core.NewPredictorByName(cfg.Predictor)
+		pred, err := core.NewPredictorByName(o.predictor)
 		if err != nil {
 			return nil, err
 		}
-		margin, err := core.NewMarginByName(cfg.Margin)
+		margin, err := core.NewMarginByName(o.margin)
 		if err != nil {
 			return nil, err
-		}
-		minTimeout := cfg.MinTimeout
-		if minTimeout == 0 {
-			minTimeout = 10 * time.Millisecond
-		}
-		if minTimeout < 0 {
-			minTimeout = 0
 		}
 		det, err := core.NewDetector(core.DetectorConfig{
 			Predictor:  pred,
 			Margin:     margin,
-			Eta:        cfg.Eta,
+			Eta:        o.eta,
 			Clock:      net.Clock(),
 			Listener:   listener,
-			MinTimeout: minTimeout,
+			MinTimeout: o.minTimeout,
 		})
 		if err != nil {
 			return nil, err
@@ -137,14 +161,14 @@ func ListenAndMonitor(cfg MonitorConfig) (*Monitor, error) {
 		return nil, err
 	}
 	stack := []neko.Layer{mon}
-	if cfg.TargetDetection > 0 {
+	if o.targetDetection > 0 {
 		det := mon.Detector()
 		if det == nil {
 			return nil, fmt.Errorf("wanfd: TargetDetection requires a freshness-point detector (unset AccrualThreshold)")
 		}
 		ctrl, err := layers.NewIntervalController(layers.IntervalControllerConfig{
 			Detector:        det,
-			TargetDetection: cfg.TargetDetection,
+			TargetDetection: o.targetDetection,
 			Peer:            udpHeartbeaterID,
 		})
 		if err != nil {
@@ -189,16 +213,22 @@ func (m *Monitor) Phi() float64 {
 // not requested).
 func (m *Monitor) ClockOffset() time.Duration { return m.net.Offset(udpHeartbeaterID) }
 
+// DetectorStats returns a snapshot of the detector's lifetime counters
+// (zero for consumer kinds that expose none).
+func (m *Monitor) DetectorStats() DetectorStats {
+	if s, ok := m.mon.Consumer().(StatsProvider); ok {
+		return s.DetectorStats()
+	}
+	return DetectorStats{}
+}
+
 // Stats reports heartbeats processed, stale heartbeats, and suspicion
 // episodes.
+//
+// Deprecated: use DetectorStats, which names the counters.
 func (m *Monitor) Stats() (heartbeats, stale, suspicions uint64) {
-	type statser interface {
-		Stats() (uint64, uint64, uint64)
-	}
-	if s, ok := m.mon.Consumer().(statser); ok {
-		return s.Stats()
-	}
-	return 0, 0, 0
+	s := m.DetectorStats()
+	return s.Heartbeats, s.Stale, s.Suspicions
 }
 
 // Close stops the detector and releases the socket.
