@@ -18,6 +18,7 @@ import (
 	"wanfd/internal/layers"
 	"wanfd/internal/neko"
 	"wanfd/internal/sim"
+	"wanfd/internal/telemetry"
 )
 
 const benchClusterPeers = 1024
@@ -247,6 +248,25 @@ func BenchmarkCluster1k(b *testing.B) {
 		sc := sc
 		b.Run(sc.name+"/sharded", func(b *testing.B) {
 			mm, err := NewMultiMonitor("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := shardedHarness{mm: mm}
+			defer h.close()
+			for i, name := range names {
+				if err := mm.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 20001+i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runReceiveBench(b, h, sc.flapping)
+		})
+		// Same sharded stack with live telemetry: every dispatch counts
+		// packets, shard traffic, heartbeats, and observes two histograms.
+		// The sharded (uninstrumented) run above doubles as the disabled
+		// path — nil registry, dead branches only.
+		b.Run(sc.name+"/sharded-telemetry", func(b *testing.B) {
+			mm, err := NewMultiMonitor("127.0.0.1:0",
+				WithTelemetry(telemetry.NewRegistry(256)))
 			if err != nil {
 				b.Fatal(err)
 			}

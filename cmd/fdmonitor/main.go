@@ -6,17 +6,23 @@
 //
 //	fdmonitor -listen :7007 -remote host:7008 -eta 1s
 //	fdmonitor -listen :7007 -remote host:7008 -predictor ARIMA -margin CI_low -sync
+//	fdmonitor -listen :7007 -remote host:7008 -http :7070
 //
 // Cluster mode watches a whole fleet over the same socket, one detector
 // per peer, and optionally serves the aggregate state over HTTP:
 //
 //	fdmonitor -listen :7007 -peers api=10.0.0.1:7008,db=10.0.0.2:7008 -http :7070
 //
-// The HTTP endpoint exposes the live cluster:
+// The HTTP endpoint exposes the live monitor:
 //
-//	GET    /cluster                       aggregate ClusterSnapshot (JSON)
-//	POST   /cluster/peers?name=N&addr=A   start monitoring one more peer
-//	DELETE /cluster/peers?name=N          stop monitoring a peer
+//	GET    /cluster                       aggregate ClusterSnapshot (JSON, cluster mode)
+//	POST   /cluster/peers?name=N&addr=A   start monitoring one more peer (cluster mode)
+//	DELETE /cluster/peers?name=N          stop monitoring a peer (cluster mode)
+//	GET    /status                        one-peer status (JSON, single-peer mode)
+//	GET    /metrics                       live telemetry, Prometheus text format
+//	GET    /events[?n=N]                  last N suspicion transitions, JSON Lines
+//	GET    /debug/pprof/                  net/http/pprof profiler
+//	GET    /debug/vars                    expvar
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"wanfd"
+	"wanfd/internal/telemetry"
 )
 
 func main() {
@@ -47,13 +54,14 @@ func run() error {
 		listen    = flag.String("listen", ":7007", "local UDP address")
 		remote    = flag.String("remote", "", "heartbeater UDP address (single-peer mode)")
 		peersFlag = flag.String("peers", "", "comma-separated name=addr heartbeater list (cluster mode)")
-		httpAddr  = flag.String("http", "", "serve the cluster state over HTTP at this address (cluster mode)")
+		httpAddr  = flag.String("http", "", "serve live state and telemetry over HTTP at this address")
 		eta       = flag.Duration("eta", time.Second, "heartbeat period of the monitored processes")
 		predictor = flag.String("predictor", "LAST", "delay predictor: ARIMA, LAST, LPF, MEAN, WINMEAN")
 		margin    = flag.String("margin", "JAC_med", "safety margin: CI_low/med/high, JAC_low/med/high")
 		sync      = flag.Bool("sync", false, "estimate the peer clock offset before monitoring (single-peer mode)")
 		accrual   = flag.Float64("accrual", 0, "use a φ-accrual detector at this threshold instead of predictor+margin (0 = off, single-peer mode)")
 		stats     = flag.Duration("stats", 10*time.Second, "statistics print interval (0 disables)")
+		events    = flag.Int("events", 512, "suspicion transitions kept for GET /events")
 	)
 	flag.Parse()
 	switch {
@@ -61,41 +69,116 @@ func run() error {
 		return fmt.Errorf("either -remote (single peer) or -peers (cluster) is required")
 	case *remote != "" && *peersFlag != "":
 		return fmt.Errorf("-remote and -peers are mutually exclusive")
-	case *httpAddr != "" && *peersFlag == "":
-		return fmt.Errorf("-http requires cluster mode (-peers)")
+	}
+	// Telemetry rides with the HTTP endpoint: no server, no registry, and
+	// the heartbeat path stays uninstrumented.
+	var reg *telemetry.Registry
+	if *httpAddr != "" {
+		reg = telemetry.NewRegistry(*events)
 	}
 	if *peersFlag != "" {
-		return runCluster(*listen, *peersFlag, *httpAddr, *eta, *predictor, *margin, *stats)
+		return runCluster(*listen, *peersFlag, *httpAddr, *eta, *predictor, *margin, *stats, reg)
 	}
-	return runSingle(*listen, *remote, *eta, *predictor, *margin, *accrual, *sync, *stats)
+	return runSingle(*listen, *remote, *httpAddr, *eta, *predictor, *margin, *accrual, *sync, *stats, reg)
 }
 
-func runSingle(listen, remote string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration) error {
+// serveHTTP starts an HTTP server for the given handler and reports its
+// exit on the returned channel.
+func serveHTTP(addr string, h http.Handler) (*http.Server, net.Listener, chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srv := &http.Server{Handler: h}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	return srv, ln, errCh, nil
+}
+
+// singleStatus is the JSON body of GET /status in single-peer mode.
+type singleStatus struct {
+	// Remote is the monitored heartbeater address.
+	Remote string `json:"remote"`
+	// Uptime is the time since the monitor started.
+	Uptime time.Duration `json:"uptime"`
+	// Suspected is the detector's current output.
+	Suspected bool `json:"suspected"`
+	// Timeout is the current adaptive timeout (0 for φ-accrual).
+	Timeout time.Duration `json:"timeout"`
+	// Phi is the φ-accrual suspicion level (0 for freshness-point).
+	Phi float64 `json:"phi,omitempty"`
+	// ClockOffset is the estimated peer clock offset.
+	ClockOffset time.Duration `json:"clockOffset"`
+	// DetectorStats carries the lifetime counters.
+	wanfd.DetectorStats
+}
+
+// singleHandler builds the HTTP surface of a single-peer monitor.
+func singleHandler(mon *wanfd.Monitor, remote string, start time.Time, reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(singleStatus{
+			Remote:        remote,
+			Uptime:        time.Since(start),
+			Suspected:     mon.Suspected(),
+			Timeout:       mon.Timeout(),
+			Phi:           mon.Phi(),
+			ClockOffset:   mon.ClockOffset(),
+			DetectorStats: mon.DetectorStats(),
+		})
+	})
+	telemetry.Mount(mux, reg)
+	return mux
+}
+
+func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration, reg *telemetry.Registry) error {
 	start := time.Now()
 	stamp := func(elapsed time.Duration) string {
 		return start.Add(elapsed).Format("15:04:05.000")
 	}
-	mon, err := wanfd.ListenAndMonitor(wanfd.MonitorConfig{
-		Listen:           listen,
-		Remote:           remote,
-		Eta:              eta,
-		Predictor:        predictor,
-		Margin:           margin,
-		AccrualThreshold: accrual,
-		SyncClock:        sync,
-		OnSuspect: func(at time.Duration) {
+	opts := []wanfd.Option{
+		wanfd.WithEta(eta),
+		wanfd.WithPredictor(predictor),
+		wanfd.WithMargin(margin),
+		wanfd.WithTelemetry(reg),
+		wanfd.WithOnSuspect(func(at time.Duration) {
 			fmt.Printf("%s SUSPECT   (after %v)\n", stamp(at), at.Round(time.Millisecond))
-		},
-		OnTrust: func(at time.Duration) {
+		}),
+		wanfd.WithOnTrust(func(at time.Duration) {
 			fmt.Printf("%s TRUST     (after %v)\n", stamp(at), at.Round(time.Millisecond))
-		},
-	})
+		}),
+	}
+	if accrual > 0 {
+		opts = append(opts, wanfd.WithAccrualThreshold(accrual))
+	}
+	if sync {
+		opts = append(opts, wanfd.WithSyncClock())
+	}
+	mon, err := wanfd.NewMonitor(listen, remote, opts...)
 	if err != nil {
 		return err
 	}
 	defer mon.Close()
 	fmt.Printf("monitoring %s with %s+%s, eta %v, clock offset %v\n",
 		remote, predictor, margin, eta, mon.ClockOffset())
+
+	var httpErr chan error
+	if httpAddr != "" {
+		srv, ln, errCh, err := serveHTTP(httpAddr, singleHandler(mon, remote, start, reg))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		httpErr = errCh
+		fmt.Printf("status at http://%s/status, metrics at http://%s/metrics\n", ln.Addr(), ln.Addr())
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -113,6 +196,11 @@ func runSingle(listen, remote string, eta time.Duration, predictor, margin strin
 			s := mon.DetectorStats()
 			fmt.Printf("shutting down: %d heartbeats (%d stale), %d suspicions\n",
 				s.Heartbeats, s.Stale, s.Suspicions)
+			return nil
+		case err := <-httpErr:
+			if err != nil && err != http.ErrServerClosed {
+				return fmt.Errorf("http: %w", err)
+			}
 			return nil
 		case <-tick:
 			s := mon.DetectorStats()
@@ -154,7 +242,7 @@ func parsePeers(spec string) ([][2]string, error) {
 	return out, nil
 }
 
-func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor, margin string, stats time.Duration) error {
+func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor, margin string, stats time.Duration, reg *telemetry.Registry) error {
 	peers, err := parsePeers(peersSpec)
 	if err != nil {
 		return err
@@ -164,6 +252,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 		wanfd.WithEta(eta),
 		wanfd.WithPredictor(predictor),
 		wanfd.WithMargin(margin),
+		wanfd.WithTelemetry(reg),
 		wanfd.WithOnChange(func(peer string, suspected bool, at time.Duration) {
 			state := "TRUST  "
 			if suspected {
@@ -185,14 +274,13 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 
 	var httpErr chan error
 	if httpAddr != "" {
-		httpErr = make(chan error, 1)
-		srv, ln, err := clusterServer(httpAddr, mon)
+		srv, ln, errCh, err := serveHTTP(httpAddr, clusterHandler(mon, reg))
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("cluster state at http://%s/cluster\n", ln.Addr())
-		go func() { httpErr <- srv.Serve(ln) }()
+		httpErr = errCh
+		fmt.Printf("cluster state at http://%s/cluster, metrics at http://%s/metrics\n", ln.Addr(), ln.Addr())
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -236,8 +324,8 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 	}
 }
 
-// clusterServer builds the HTTP front-end over a live MultiMonitor.
-func clusterServer(addr string, mon *wanfd.MultiMonitor) (*http.Server, net.Listener, error) {
+// clusterHandler builds the HTTP front-end over a live MultiMonitor.
+func clusterHandler(mon *wanfd.MultiMonitor, reg *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -279,9 +367,6 @@ func clusterServer(addr string, mon *wanfd.MultiMonitor) (*http.Server, net.List
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
 	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, err
-	}
-	return &http.Server{Handler: mux}, ln, nil
+	telemetry.Mount(mux, reg)
+	return mux
 }

@@ -1,0 +1,345 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	stdnet "net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wanfd"
+	"wanfd/internal/nekostat"
+	"wanfd/internal/telemetry"
+)
+
+// freeUDPPorts reserves n distinct loopback UDP ports and releases them.
+func freeUDPPorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	conns := make([]interface{ Close() error }, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := stdnet.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, pc)
+		addrs = append(addrs, pc.LocalAddr().String())
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return addrs
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cond()
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// metricValue finds `series value` in a Prometheus exposition body, e.g.
+// metricValue(body, `wanfd_heartbeats_total{peer="alpha"}`).
+func metricValue(t *testing.T, body, series string) (float64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+func TestParsePeers(t *testing.T) {
+	tests := []struct {
+		spec    string
+		want    [][2]string
+		wantErr bool
+	}{
+		{spec: "a=1.2.3.4:7", want: [][2]string{{"a", "1.2.3.4:7"}}},
+		{
+			spec: " a=h:1 , b=h:2 ",
+			want: [][2]string{{"a", "h:1"}, {"b", "h:2"}},
+		},
+		{spec: "", wantErr: true},
+		{spec: ",,", wantErr: true},
+		{spec: "noequals", wantErr: true},
+		{spec: "=addr", wantErr: true},
+		{spec: "name=", wantErr: true},
+		{spec: "a=h:1,a=h:2", wantErr: true},
+	}
+	for _, tc := range tests {
+		got, err := parsePeers(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parsePeers(%q) = %v, want error", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parsePeers(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parsePeers(%q) = %v, want %v", tc.spec, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parsePeers(%q)[%d] = %v, want %v", tc.spec, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestClusterHTTPSurface drives the full cluster HTTP surface against a
+// live MultiMonitor: membership over /cluster/peers, the snapshot at
+// /cluster, Prometheus metrics at /metrics (including the per-peer QoS
+// series once a real suspicion happens), and the /events JSONL stream.
+func TestClusterHTTPSurface(t *testing.T) {
+	addrs := freeUDPPorts(t, 3)
+	monAddr, aAddr, bAddr := addrs[0], addrs[1], addrs[2]
+	const eta = 25 * time.Millisecond
+
+	reg := telemetry.NewRegistry(64)
+	mon, err := wanfd.NewMultiMonitor(monAddr,
+		wanfd.WithEta(eta),
+		wanfd.WithMinTimeout(-1),
+		wanfd.WithTelemetry(reg),
+		wanfd.WithPeer("alpha", aAddr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	srv := httptest.NewServer(clusterHandler(mon, reg))
+	defer srv.Close()
+
+	hbA, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{Listen: aAddr, Remote: monAddr, Eta: eta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hbA.Close()
+
+	// Membership over HTTP: join beta, reject garbage, query the snapshot.
+	code, body := httpGet(t, srv.URL+"/cluster")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster = %d: %s", code, body)
+	}
+	var snap wanfd.ClusterSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/cluster body: %v", err)
+	}
+	if snap.Peers != 1 {
+		t.Fatalf("snapshot peers = %d, want 1", snap.Peers)
+	}
+
+	post := func(query string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/cluster/peers?"+query, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("name=beta&addr=" + bAddr); code != http.StatusCreated {
+		t.Fatalf("POST beta = %d, want 201", code)
+	}
+	if code := post("addr=" + bAddr); code != http.StatusBadRequest {
+		t.Errorf("POST without name = %d, want 400", code)
+	}
+	if code := post("name=beta&addr=127.0.0.1:1"); code != http.StatusConflict {
+		t.Errorf("POST duplicate = %d, want 409", code)
+	}
+
+	hbB, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{Listen: bAddr, Remote: monAddr, Eta: eta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hbB.Close()
+
+	if !waitFor(t, 5*time.Second, func() bool {
+		a, errA := mon.PeerStatusOf("alpha")
+		b, errB := mon.PeerStatusOf("beta")
+		// ≥10 each: the delay histogram is batched per peer (flushed every
+		// 8th observation), so ≥8 heartbeats guarantee a flush has landed
+		// before the scrape below asserts on the histogram count.
+		return errA == nil && errB == nil && a.Heartbeats >= 10 && b.Heartbeats >= 10
+	}) {
+		t.Fatal("peers never delivered heartbeats")
+	}
+
+	// Counter monotonicity across scrapes while heartbeats keep flowing.
+	_, m1 := httpGet(t, srv.URL+"/metrics")
+	v1, ok := metricValue(t, m1, `wanfd_heartbeats_total{peer="alpha"}`)
+	if !ok || v1 < 5 {
+		t.Fatalf("first scrape heartbeats = %v (found %v):\n%s", v1, ok, m1)
+	}
+	if v, ok := metricValue(t, m1, `wanfd_heartbeat_delay_seconds_count`); !ok || v < 5 {
+		t.Errorf("delay histogram count = %v (found %v):\n%s", v, ok, m1)
+	}
+	if !strings.Contains(m1, `wanfd_heartbeat_delay_seconds_bucket{le="+Inf"}`) {
+		t.Errorf("delay histogram +Inf bucket missing from:\n%s", m1)
+	}
+	time.Sleep(4 * eta)
+	_, m2 := httpGet(t, srv.URL+"/metrics")
+	v2, ok := metricValue(t, m2, `wanfd_heartbeats_total{peer="alpha"}`)
+	if !ok || v2 < v1 {
+		t.Errorf("counter not monotone: %v then %v", v1, v2)
+	}
+
+	// Kill beta's heartbeater and wait for a genuine suspicion so the
+	// transition counter, QoS gauges, and event stream all light up.
+	_ = hbB.Close()
+	if !waitFor(t, 5*time.Second, func() bool {
+		s, err := mon.Suspected("beta")
+		return err == nil && s
+	}) {
+		t.Fatal("dead peer never suspected")
+	}
+
+	_, m3 := httpGet(t, srv.URL+"/metrics")
+	if v, ok := metricValue(t, m3, `wanfd_suspicion_transitions_total{peer="beta"}`); !ok || v < 1 {
+		t.Errorf("transitions = %v (found %v):\n%s", v, ok, m3)
+	}
+	if v, ok := metricValue(t, m3, `wanfd_qos_pa{peer="beta"}`); !ok || v < 0 || v > 1 {
+		t.Errorf("qos_pa = %v (found %v):\n%s", v, ok, m3)
+	}
+
+	// The same transition must be visible as an event, JSONL round-trips
+	// through the nekostat codec.
+	code, evBody := httpGet(t, srv.URL+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("/events = %d", code)
+	}
+	evs, err := nekostat.ReadEvents(strings.NewReader(evBody))
+	if err != nil {
+		t.Fatalf("/events body does not round-trip: %v\n%s", err, evBody)
+	}
+	var sawBeta bool
+	for _, e := range evs {
+		if e.Source == "beta" && e.Kind == nekostat.KindStartSuspect {
+			sawBeta = true
+		}
+	}
+	if !sawBeta {
+		t.Errorf("no StartSuspect event for beta in %d events", len(evs))
+	}
+
+	// Leave: DELETE drops the peer and its metric series.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/cluster/peers?name=beta", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE beta = %d, want 204", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/cluster/peers?name=beta", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %d, want 404", resp.StatusCode)
+	}
+	_, m4 := httpGet(t, srv.URL+"/metrics")
+	if strings.Contains(m4, `peer="beta"`) {
+		t.Errorf("removed peer still exported:\n%s", m4)
+	}
+	if _, ok := metricValue(t, m4, `wanfd_heartbeats_total{peer="alpha"}`); !ok {
+		t.Errorf("surviving peer's series lost:\n%s", m4)
+	}
+}
+
+// TestSingleHTTPSurface covers the -remote mode: /status JSON plus the
+// shared telemetry surface on the same mux.
+func TestSingleHTTPSurface(t *testing.T) {
+	addrs := freeUDPPorts(t, 2)
+	monAddr, hbAddr := addrs[0], addrs[1]
+	const eta = 25 * time.Millisecond
+
+	hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{Listen: hbAddr, Remote: monAddr, Eta: eta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+
+	reg := telemetry.NewRegistry(16)
+	mon, err := wanfd.NewMonitor(monAddr, hbAddr,
+		wanfd.WithEta(eta),
+		wanfd.WithTelemetry(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	srv := httptest.NewServer(singleHandler(mon, hbAddr, time.Now(), reg))
+	defer srv.Close()
+
+	if !waitFor(t, 5*time.Second, func() bool {
+		return mon.DetectorStats().Heartbeats >= 5
+	}) {
+		t.Fatal("no heartbeats delivered")
+	}
+
+	code, body := httpGet(t, srv.URL+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status = %d: %s", code, body)
+	}
+	var st singleStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status body: %v\n%s", err, body)
+	}
+	if st.Remote != hbAddr || st.Heartbeats < 5 || st.Suspected {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Uptime <= 0 {
+		t.Errorf("uptime = %v", st.Uptime)
+	}
+
+	_, metrics := httpGet(t, srv.URL+"/metrics")
+	series := fmt.Sprintf(`wanfd_heartbeats_total{peer=%q}`, hbAddr)
+	if v, ok := metricValue(t, metrics, series); !ok || v < 5 {
+		t.Errorf("heartbeats = %v (found %v):\n%s", v, ok, metrics)
+	}
+
+	if code, _ := httpGet(t, srv.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"wanfd/internal/core"
 	"wanfd/internal/sim"
+	"wanfd/internal/telemetry"
 )
 
 // Predictor forecasts the next heartbeat's one-way delay in milliseconds.
@@ -102,9 +103,13 @@ type callbackListener struct {
 	// remote address as the peer label.
 	onChange func(peer string, suspected bool, elapsed time.Duration)
 	peer     string
+	// reg, when non-nil, records transitions into the live telemetry
+	// subsystem (event ring, QoS estimator, gauges).
+	reg *telemetry.Registry
 }
 
 func (l callbackListener) OnSuspect(_ string, at time.Duration) {
+	l.reg.RecordTransition(l.peer, true, at)
 	if l.onSuspect != nil {
 		l.onSuspect(at)
 	}
@@ -114,6 +119,7 @@ func (l callbackListener) OnSuspect(_ string, at time.Duration) {
 }
 
 func (l callbackListener) OnTrust(_ string, at time.Duration) {
+	l.reg.RecordTransition(l.peer, false, at)
 	if l.onTrust != nil {
 		l.onTrust(at)
 	}

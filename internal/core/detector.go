@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wanfd/internal/sim"
+	"wanfd/internal/telemetry"
 )
 
 // DetectorStats is a snapshot of a detector's lifetime counters.
@@ -59,6 +60,14 @@ type DetectorConfig struct {
 	// one observation makes the margins near zero while sender timer
 	// jitter is not yet learned.
 	MinTimeout time.Duration
+	// Metrics, when non-nil, receives the delay and prediction-error
+	// histogram observations plus the late-arrival count from the
+	// heartbeat hot path; state the detector tracks anyway (lifetime
+	// counters, timeout, output) is exported lazily via
+	// telemetry.DetectorFuncs by whoever wires the detector up. A nil
+	// bundle disables instrumentation at the cost of one branch per
+	// heartbeat.
+	Metrics *telemetry.DetectorMetrics
 }
 
 // Detector is the paper's modular push-style failure detector (§2.3): it
@@ -82,6 +91,7 @@ type Detector struct {
 	minTimeout float64 // ms
 	clock      sim.Clock
 	listener   SuspicionListener
+	metrics    *telemetry.DetectorMetrics
 
 	mu        sync.Mutex
 	hi        int64 // highest sequence received; -1 before the first
@@ -128,6 +138,7 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 		minTimeout: durToMs(cfg.MinTimeout),
 		clock:      cfg.Clock,
 		listener:   cfg.Listener,
+		metrics:    cfg.Metrics,
 		hi:         -1,
 	}, nil
 }
@@ -154,6 +165,23 @@ func (d *Detector) OnHeartbeat(seq int64, sendTime, now time.Duration) {
 	predMs := d.pred.Predict() // the prediction that was in effect
 	d.pred.Observe(obsMs)
 	d.margin.Observe(obsMs, predMs)
+	if m := d.metrics; m != nil {
+		// Multiply, not divide: ms→s by a constant reciprocal keeps the
+		// conversion off the FP-divider on every heartbeat.
+		m.Delay.Observe(obsMs * 1e-3)
+		if d.heartbeats > 1 {
+			// The first prediction is the predictor's zero state, not a
+			// forecast; scoring it would just record the first delay.
+			err := obsMs - predMs
+			if err < 0 {
+				err = -err
+			}
+			m.PredictorError.Observe(err * 1e-3)
+		}
+		if d.suspected {
+			m.Late.Inc()
+		}
+	}
 
 	if seq <= d.hi {
 		d.stale++
@@ -271,6 +299,12 @@ func (d *Detector) Stop() {
 	if d.timer != nil {
 		d.timer.Stop()
 		d.timer = nil
+	}
+	if m := d.metrics; m != nil {
+		// Push the tail of the batched observations so a removed peer's
+		// last few heartbeats still reach the shared histograms.
+		m.Delay.Flush()
+		m.PredictorError.Flush()
 	}
 }
 

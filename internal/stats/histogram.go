@@ -68,6 +68,68 @@ func (h *Histogram) BinLo(i int) float64 { return h.lo + float64(i)*h.width }
 // OutOfRange returns the underflow and overflow counts.
 func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bin. The exact values of out-of-range observations
+// are unknown, so quantiles that land in the underflow mass are clamped to
+// the histogram's lower edge and quantiles in the overflow mass to its
+// upper edge. It returns NaN for an empty histogram or a q outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	// Rank of the target observation among the total mass, in [0, total].
+	rank := q * float64(h.total)
+	if rank <= float64(h.underflow) {
+		if h.underflow > 0 {
+			return h.lo
+		}
+		rank = 0
+	} else {
+		rank -= float64(h.underflow)
+	}
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			return h.BinLo(i) + frac*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// HistogramSnapshot is a serializable copy of a histogram's state,
+// suitable for JSON export and for merging runs offline.
+type HistogramSnapshot struct {
+	// Lo and Hi are the in-range bounds [Lo, Hi).
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Counts holds the per-bin counts; bin i covers
+	// [Lo + i·w, Lo + (i+1)·w) with w = (Hi−Lo)/len(Counts).
+	Counts []uint64 `json:"counts"`
+	// Underflow and Overflow count out-of-range observations.
+	Underflow uint64 `json:"underflow"`
+	Overflow  uint64 `json:"overflow"`
+	// Total is the number of observations including out-of-range ones.
+	Total uint64 `json:"total"`
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Lo:        h.lo,
+		Hi:        h.hi,
+		Counts:    append([]uint64(nil), h.counts...),
+		Underflow: h.underflow,
+		Overflow:  h.overflow,
+		Total:     h.total,
+	}
+}
+
 // Render returns a text rendering of the histogram with proportional bars,
 // suitable for experiment reports.
 func (h *Histogram) Render(barWidth int) string {

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func mustHistogram(t *testing.T, lo, hi float64, bins int) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(lo, hi, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	tests := []struct {
+		name    string
+		lo, hi  float64
+		bins    int
+		obs     []float64
+		q       float64
+		want    float64
+		wantNaN bool
+	}{
+		{
+			name: "uniform median",
+			lo:   0, hi: 10, bins: 10,
+			// One observation per bin: the empirical distribution is
+			// uniform, so the median interpolates to the middle.
+			obs: []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5},
+			q:   0.5, want: 5,
+		},
+		{
+			name: "uniform p90",
+			lo:   0, hi: 10, bins: 10,
+			obs: []float64{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5},
+			q:   0.9, want: 9,
+		},
+		{
+			name: "single bin interpolates",
+			lo:   0, hi: 10, bins: 10,
+			obs: []float64{4, 4, 4, 4}, // all in bin [4, 5)
+			q:   0.5, want: 4.5,
+		},
+		{
+			name: "q0 is lowest populated edge",
+			lo:   0, hi: 10, bins: 10,
+			obs: []float64{7.3},
+			q:   0, want: 7,
+		},
+		{
+			name: "q1 is highest populated edge",
+			lo:   0, hi: 10, bins: 10,
+			obs: []float64{7.3},
+			q:   1, want: 8,
+		},
+		{
+			name: "underflow clamps to lo",
+			lo:   10, hi: 20, bins: 10,
+			obs: []float64{1, 2, 3, 15}, // 3 of 4 below range
+			q:   0.5, want: 10,
+		},
+		{
+			name: "overflow clamps to hi",
+			lo:   0, hi: 10, bins: 10,
+			obs: []float64{5, 100, 200, 300}, // 3 of 4 above range
+			q:   0.9, want: 10,
+		},
+		{
+			name: "mass above underflow interpolates normally",
+			lo:   10, hi: 20, bins: 10,
+			obs: []float64{1, 14, 14, 14}, // q=1 lands in bin [14, 15)
+			q:   1, want: 15,
+		},
+		{
+			name: "empty histogram",
+			lo:   0, hi: 10, bins: 10,
+			obs: nil, q: 0.5, wantNaN: true,
+		},
+		{
+			name: "q out of range",
+			lo:   0, hi: 10, bins: 10,
+			obs: []float64{5}, q: 1.5, wantNaN: true,
+		},
+		{
+			name: "negative q",
+			lo:   0, hi: 10, bins: 10,
+			obs: []float64{5}, q: -0.1, wantNaN: true,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h := mustHistogram(t, tc.lo, tc.hi, tc.bins)
+			for _, x := range tc.obs {
+				h.Add(x)
+			}
+			got := h.Quantile(tc.q)
+			if tc.wantNaN {
+				if !math.IsNaN(got) {
+					t.Fatalf("Quantile(%v) = %v, want NaN", tc.q, got)
+				}
+				return
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := mustHistogram(t, 0, 100, 20)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%120) - 10) // includes under- and overflow
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := mustHistogram(t, 0, 10, 5)
+	for _, x := range []float64{-1, 0, 3, 9.9, 10, 42} {
+		h.Add(x)
+	}
+	snap := h.Snapshot()
+	if snap.Lo != 0 || snap.Hi != 10 || len(snap.Counts) != 5 {
+		t.Fatalf("snapshot shape = %+v", snap)
+	}
+	if snap.Underflow != 1 || snap.Overflow != 2 {
+		t.Errorf("under/overflow = %d/%d, want 1/2", snap.Underflow, snap.Overflow)
+	}
+	if snap.Total != 6 {
+		t.Errorf("total = %d, want 6", snap.Total)
+	}
+	if snap.Counts[0] != 1 || snap.Counts[1] != 1 || snap.Counts[4] != 1 {
+		t.Errorf("counts = %v", snap.Counts)
+	}
+
+	// The snapshot is a copy, not a view.
+	h.Add(1)
+	if snap.Counts[0] != 1 {
+		t.Error("snapshot aliases live counts")
+	}
+
+	// And it serializes.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total != snap.Total || back.Counts[2] != snap.Counts[2] {
+		t.Errorf("JSON round trip = %+v, want %+v", back, snap)
+	}
+}

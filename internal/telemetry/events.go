@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+
+	"wanfd/internal/nekostat"
+)
+
+// EventRing is a bounded ring buffer of the most recent suspicion
+// transitions, reusing the nekostat event kinds so a live monitor's
+// /events stream round-trips through the same JSONL codec as post-hoc
+// experiment logs. The nil ring is a valid no-op.
+type EventRing struct {
+	mu    sync.Mutex
+	buf   []nekostat.Event
+	next  int
+	total uint64
+}
+
+// NewEventRing returns a ring keeping the last capacity events.
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &EventRing{buf: make([]nekostat.Event, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (r *EventRing) Record(e nekostat.Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total returns the number of events ever recorded (including evicted
+// ones).
+func (r *EventRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the buffered events, oldest first. On a nil ring it
+// returns nil.
+func (r *EventRing) Events() []nekostat.Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]nekostat.Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Last returns the newest n buffered events, oldest first; n <= 0 means
+// all of them.
+func (r *EventRing) Last(n int) []nekostat.Event {
+	evs := r.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// WriteJSONL streams the newest n buffered events (n <= 0 means all) as
+// JSON Lines through the nekostat codec, so consumers can parse them with
+// nekostat.ReadEvents.
+func (r *EventRing) WriteJSONL(w io.Writer, n int) error {
+	return nekostat.WriteEvents(w, r.Last(n))
+}

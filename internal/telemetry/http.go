@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// contentTypeMetrics is the Prometheus text exposition content type.
+const contentTypeMetrics = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler serves GET /metrics in the Prometheus text exposition
+// format. A nil registry serves an empty (valid) exposition.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", contentTypeMetrics)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// EventsHandler serves GET /events as JSON Lines: the newest buffered
+// suspicion transitions, oldest first, parseable by nekostat.ReadEvents.
+// The optional ?n= query parameter bounds the number of events returned.
+func EventsHandler(ring *EventRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = ring.WriteJSONL(w, n)
+	})
+}
+
+// Mount wires the full observability surface onto a mux: /metrics,
+// /events, the net/http/pprof profiler under /debug/pprof/, and expvar
+// under /debug/vars — the stdlib-only equivalent of what a production
+// monitoring sidecar expects to scrape. Safe with a nil registry.
+func Mount(mux *http.ServeMux, r *Registry) {
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/events", EventsHandler(r.Events()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}

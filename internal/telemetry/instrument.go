@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"time"
+
+	"wanfd/internal/nekostat"
+)
+
+// Metric names exported by the instrumented monitor stack. They are
+// constants so tests and docs cannot drift from the instrumentation.
+const (
+	MetricHeartbeats      = "wanfd_heartbeats_total"
+	MetricHeartbeatsStale = "wanfd_heartbeats_stale_total"
+	MetricHeartbeatsLate  = "wanfd_heartbeats_late_total"
+	MetricFreshnessMisses = "wanfd_freshness_misses_total"
+	MetricHeartbeatDelay  = "wanfd_heartbeat_delay_seconds"
+	MetricPredictorError  = "wanfd_predictor_error_seconds"
+	MetricDetectorTimeout = "wanfd_detector_timeout_seconds"
+	MetricPeerSuspected   = "wanfd_peer_suspected"
+
+	MetricTransitions = "wanfd_suspicion_transitions_total"
+	MetricQoSPA       = "wanfd_qos_pa"
+	MetricQoSTM       = "wanfd_qos_tm_seconds"
+	MetricQoSTMR      = "wanfd_qos_tmr_seconds"
+
+	MetricPacketsSent     = "wanfd_transport_packets_sent_total"
+	MetricPacketsReceived = "wanfd_transport_packets_received_total"
+	MetricDecodeErrors    = "wanfd_transport_decode_errors_total"
+	MetricPacketsDropped  = "wanfd_transport_packets_dropped_total"
+
+	MetricRouterDispatch  = "wanfd_router_dispatch_total"
+	MetricRouterUnrouted  = "wanfd_router_unrouted_total"
+	MetricRouterContended = "wanfd_router_shard_contended_total"
+
+	MetricPeers       = "wanfd_cluster_peers"
+	MetricPeerAdds    = "wanfd_cluster_peer_adds_total"
+	MetricPeerRemoves = "wanfd_cluster_peer_removes_total"
+)
+
+// DetectorMetrics is the handle bundle the freshness-point detector hot
+// path updates. It holds only what the detector does not already track
+// itself — the two delay histograms and the late-arrival counter;
+// everything derivable from the detector's own state (lifetime counters,
+// current timeout, suspicion output) is exported at scrape time via
+// DetectorFuncs instead, keeping the heartbeat path at a handful of
+// atomic adds.
+//
+// The histograms are deliberately aggregate (unlabeled, shared by every
+// peer of a registry): per-peer histogram families are a cardinality
+// trap at cluster scale — 13 bucket series per peer — and the per-peer
+// working set they add (a few cache lines per peer per heartbeat)
+// dominates the instrumentation cost at thousands of peers. Per-peer
+// detail lives in the cheap counter/gauge series instead.
+//
+// The histogram handles are per-detector BatchObservers rather than the
+// shared histograms directly: the detector already serializes heartbeat
+// processing under its own mutex, so buffering observations there and
+// flushing every batchFlushEvery-th one replaces per-heartbeat atomic
+// adds with plain adds. All fields are nil-safe, so the bundle (and the
+// whole pointer) may be nil when telemetry is disabled — the detector
+// then pays one branch per heartbeat.
+type DetectorMetrics struct {
+	// Late counts heartbeats that arrived while the peer was suspected —
+	// deliveries past their freshness point.
+	Late *Counter
+	// Delay observes measured one-way heartbeat delays, in seconds,
+	// aggregated over all peers.
+	Delay *BatchObserver
+	// PredictorError observes |observed − predicted| delay, in seconds,
+	// aggregated over all peers.
+	PredictorError *BatchObserver
+}
+
+// DetectorMetrics builds the detector handle bundle for one peer: the
+// late counter is labeled per peer, the histograms are the registry-wide
+// aggregates. Returns nil on a nil registry, which disables detector
+// instrumentation entirely.
+func (r *Registry) DetectorMetrics(peer string) *DetectorMetrics {
+	if r == nil {
+		return nil
+	}
+	return &DetectorMetrics{
+		Late:           r.Counter(MetricHeartbeatsLate, "Heartbeats received while the peer was suspected.", "peer", peer),
+		Delay:          r.Histogram(MetricHeartbeatDelay, "Measured one-way heartbeat delay in seconds, all peers.", nil).Batch(),
+		PredictorError: r.Histogram(MetricPredictorError, "Absolute delay prediction error in seconds, all peers.", nil).Batch(),
+	}
+}
+
+// DetectorFuncs registers the scrape-time per-peer series that mirror
+// state the detector already maintains under its own lock: heartbeat and
+// stale counts, suspicion starts (the freshness-point misses), the
+// adaptive timeout and the boolean output. Sampling them at scrape time
+// costs the heartbeat hot path nothing. The callbacks must be safe to call
+// from the scrape goroutine (and after the detector stops); they are
+// dropped with the rest of the peer's series by DropSeries. No-op on a nil
+// registry.
+func (r *Registry) DetectorFuncs(peer string, stats func() (heartbeats, stale, suspicions uint64), timeoutSec func() float64, suspected func() bool) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(MetricHeartbeats, "Heartbeats processed, including stale ones.", func() float64 {
+		h, _, _ := stats()
+		return float64(h)
+	}, "peer", peer)
+	r.CounterFunc(MetricHeartbeatsStale, "Reordered or duplicate heartbeats.", func() float64 {
+		_, s, _ := stats()
+		return float64(s)
+	}, "peer", peer)
+	r.CounterFunc(MetricFreshnessMisses, "Freshness points passed without a fresh heartbeat.", func() float64 {
+		_, _, s := stats()
+		return float64(s)
+	}, "peer", peer)
+	r.GaugeFunc(MetricDetectorTimeout, "Current adaptive timeout delta in seconds.", timeoutSec, "peer", peer)
+	r.GaugeFunc(MetricPeerSuspected, "Detector output: 1 suspected, 0 trusted.", func() float64 {
+		if suspected() {
+			return 1
+		}
+		return 0
+	}, "peer", peer)
+}
+
+// TransportMetrics is the socket-level handle bundle.
+type TransportMetrics struct {
+	// Sent and Received count packets written to and decoded from the
+	// socket.
+	Sent, Received *Counter
+	// DecodeErrors counts malformed inbound packets.
+	DecodeErrors *Counter
+	// Dropped counts packets discarded without delivery (no receiver
+	// attached, or sends to unregistered peers).
+	Dropped *Counter
+}
+
+// TransportMetrics builds the socket-level handle bundle (nil on a nil
+// registry).
+func (r *Registry) TransportMetrics() *TransportMetrics {
+	if r == nil {
+		return nil
+	}
+	return &TransportMetrics{
+		Sent:         r.Counter(MetricPacketsSent, "UDP packets sent."),
+		Received:     r.Counter(MetricPacketsReceived, "Valid UDP packets received."),
+		DecodeErrors: r.Counter(MetricDecodeErrors, "Malformed inbound packets discarded."),
+		Dropped:      r.Counter(MetricPacketsDropped, "Packets discarded without delivery."),
+	}
+}
+
+// RecordTransition is the one-stop suspicion-transition sink: it appends
+// the event to the ring, feeds the online QoS estimator, and refreshes the
+// per-peer transition counter and QoS gauges. It runs on the (rare)
+// transition path, never per heartbeat, so the registry lock taken for the
+// gauge lookups is acceptable. Nil-safe.
+func (r *Registry) RecordTransition(peer string, suspected bool, at time.Duration) {
+	if r == nil {
+		return
+	}
+	kind := nekostat.KindEndSuspect
+	if suspected {
+		kind = nekostat.KindStartSuspect
+	}
+	r.events.Record(nekostat.Event{Kind: kind, At: at, Source: peer})
+	q := r.qos.OnTransition(peer, suspected, at)
+	r.Counter(MetricTransitions, "Suspicion transitions, both directions.", "peer", peer).Inc()
+	r.Gauge(MetricQoSPA, "Live query accuracy probability P_A per peer.", "peer", peer).Set(q.PA)
+	r.Gauge(MetricQoSTM, "Live mean mistake duration E[T_M] in seconds.", "peer", peer).Set(q.TMSeconds)
+	r.Gauge(MetricQoSTMR, "Live mean mistake recurrence E[T_MR] in seconds.", "peer", peer).Set(q.TMRSeconds)
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// QoSEstimator turns the live suspicion-transition stream into running
+// estimates of the paper's accuracy metrics, per peer: mistake duration
+// T_M, mistake recurrence time T_MR, and the query accuracy probability
+// P_A = (E[T_MR] − E[T_M]) / E[T_MR].
+//
+// Unlike the post-hoc nekostat pipeline, a live monitor has no fault
+// injector and therefore no ground truth about crashes, so every completed
+// suspicion episode is accounted as a mistake — the paper's stable-network
+// reading, where real crashes are rare events that an operator excludes
+// when they happen. The estimator is the live counterpart of
+// nekostat.ComputeQoS, not a replacement for it.
+//
+// The nil estimator is a valid no-op.
+type QoSEstimator struct {
+	mu    sync.Mutex
+	peers map[string]*peerQoS
+}
+
+// peerQoS is one peer's running accuracy state.
+type peerQoS struct {
+	suspected        bool
+	suspectAt        time.Duration // start of the open suspicion
+	lastMistakeStart time.Duration
+	haveMistake      bool
+
+	transitions uint64
+	suspicions  uint64
+
+	tmN, tmrN     uint64
+	tmSum, tmrSum time.Duration
+}
+
+// PeerQoS is a snapshot of one peer's running QoS estimates. Durations are
+// means in seconds (the exposition unit); counts disambiguate "no data
+// yet" from genuine zeros.
+type PeerQoS struct {
+	// Peer is the peer name.
+	Peer string `json:"peer"`
+	// Suspected is the detector's current output.
+	Suspected bool `json:"suspected"`
+	// Transitions counts suspicion transitions in both directions.
+	Transitions uint64 `json:"transitions"`
+	// Suspicions counts suspicion episodes started.
+	Suspicions uint64 `json:"suspicions"`
+	// Mistakes counts completed suspicion episodes (the T_M samples).
+	Mistakes uint64 `json:"mistakes"`
+	// Recurrences counts consecutive mistake-start gaps (the T_MR
+	// samples).
+	Recurrences uint64 `json:"recurrences"`
+	// TMSeconds is the running mean mistake duration E[T_M], in seconds.
+	TMSeconds float64 `json:"tmSeconds"`
+	// TMRSeconds is the running mean mistake recurrence E[T_MR], in
+	// seconds.
+	TMRSeconds float64 `json:"tmrSeconds"`
+	// PA is the query accuracy probability (E[T_MR] − E[T_M]) / E[T_MR];
+	// 1 while no recurrence has been observed.
+	PA float64 `json:"pa"`
+}
+
+// NewQoSEstimator returns an empty estimator.
+func NewQoSEstimator() *QoSEstimator {
+	return &QoSEstimator{peers: make(map[string]*peerQoS)}
+}
+
+// snapshotLocked builds the exported view of one peer. Callers hold e.mu.
+func (p *peerQoS) snapshotLocked(name string) PeerQoS {
+	s := PeerQoS{
+		Peer:        name,
+		Suspected:   p.suspected,
+		Transitions: p.transitions,
+		Suspicions:  p.suspicions,
+		Mistakes:    p.tmN,
+		Recurrences: p.tmrN,
+		PA:          1,
+	}
+	if p.tmN > 0 {
+		s.TMSeconds = p.tmSum.Seconds() / float64(p.tmN)
+	}
+	if p.tmrN > 0 {
+		s.TMRSeconds = p.tmrSum.Seconds() / float64(p.tmrN)
+		if s.TMRSeconds > 0 {
+			s.PA = (s.TMRSeconds - s.TMSeconds) / s.TMRSeconds
+			if s.PA < 0 {
+				s.PA = 0
+			}
+		}
+	}
+	return s
+}
+
+// OnTransition feeds one suspicion transition (suspected=true for
+// StartSuspect, false for EndSuspect) at elapsed run-clock time at, and
+// returns the peer's updated snapshot. Duplicate transitions to the
+// current state are counted but change no interval accounting.
+func (e *QoSEstimator) OnTransition(peer string, suspected bool, at time.Duration) PeerQoS {
+	if e == nil {
+		return PeerQoS{Peer: peer, PA: 1}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.peers[peer]
+	if !ok {
+		p = &peerQoS{}
+		e.peers[peer] = p
+	}
+	p.transitions++
+	switch {
+	case suspected && !p.suspected:
+		p.suspected = true
+		p.suspicions++
+		if p.haveMistake {
+			p.tmrN++
+			p.tmrSum += at - p.lastMistakeStart
+		}
+		p.suspectAt = at
+		p.lastMistakeStart = at
+		p.haveMistake = true
+	case !suspected && p.suspected:
+		p.suspected = false
+		p.tmN++
+		p.tmSum += at - p.suspectAt
+	}
+	return p.snapshotLocked(peer)
+}
+
+// RemovePeer forgets one peer's accumulated state (on membership
+// removal).
+func (e *QoSEstimator) RemovePeer(peer string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.peers, peer)
+}
+
+// Peer returns one peer's snapshot; ok is false for peers that never
+// transitioned (or on a nil estimator).
+func (e *QoSEstimator) Peer(peer string) (PeerQoS, bool) {
+	if e == nil {
+		return PeerQoS{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.peers[peer]
+	if !ok {
+		return PeerQoS{}, false
+	}
+	return p.snapshotLocked(peer), true
+}
+
+// Snapshot returns every peer's running QoS, sorted by peer name.
+func (e *QoSEstimator) Snapshot() []PeerQoS {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]PeerQoS, 0, len(e.peers))
+	for name, p := range e.peers {
+		out = append(out, p.snapshotLocked(name))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

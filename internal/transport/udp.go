@@ -9,6 +9,7 @@ import (
 	"wanfd/internal/clock"
 	"wanfd/internal/neko"
 	"wanfd/internal/sim"
+	"wanfd/internal/telemetry"
 )
 
 // UDPConfig parameterizes a UDP network endpoint.
@@ -19,6 +20,9 @@ type UDPConfig struct {
 	Listen string
 	// Peers maps remote process ids to their UDP addresses.
 	Peers map[neko.ProcessID]string
+	// Telemetry, when non-nil, receives live packet counters
+	// (sent/received/decode errors/drops). Nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // UDPNetwork implements neko.Network over a real UDP socket for exactly one
@@ -52,6 +56,9 @@ type UDPNetwork struct {
 	sent      uint64
 	received  uint64
 	malformed uint64
+
+	// Live telemetry counters; each is nil (a no-op) without a registry.
+	mSent, mReceived, mDecodeErr, mDropped *telemetry.Counter
 }
 
 // NewUDPNetwork opens the socket and starts the receive loop. Close must be
@@ -89,6 +96,10 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 		offsets: make(map[neko.ProcessID]time.Duration),
 		pending: make(map[int64]chan clock.Sample),
 		closed:  make(chan struct{}),
+	}
+	if tm := cfg.Telemetry.TransportMetrics(); tm != nil {
+		n.mSent, n.mReceived = tm.Sent, tm.Received
+		n.mDecodeErr, n.mDropped = tm.DecodeErrors, tm.Dropped
 	}
 	n.wg.Add(1)
 	go n.readLoop()
@@ -193,6 +204,7 @@ func (s udpSender) Send(m *neko.Message) { s.n.send(m) }
 func (n *UDPNetwork) send(m *neko.Message) {
 	addr, ok := n.peerAddr(m.To)
 	if !ok {
+		n.mDropped.Inc()
 		return
 	}
 	// Map the run-clock SentAt to the wall clock for the wire.
@@ -207,6 +219,7 @@ func (n *UDPNetwork) send(m *neko.Message) {
 	n.statsMu.Lock()
 	n.sent++
 	n.statsMu.Unlock()
+	n.mSent.Inc()
 }
 
 func (n *UDPNetwork) readLoop() {
@@ -228,6 +241,7 @@ func (n *UDPNetwork) readLoop() {
 			n.statsMu.Lock()
 			n.malformed++
 			n.statsMu.Unlock()
+			n.mDecodeErr.Inc()
 			continue
 		}
 		// Identify the sender by source address when it is a configured
@@ -258,6 +272,7 @@ func (n *UDPNetwork) dispatch(m *neko.Message, sentUnix int64) {
 	r := n.receiver
 	n.mu.Unlock()
 	if r == nil {
+		n.mDropped.Inc()
 		return
 	}
 	// Map the sender's wall-clock timestamp onto the local run clock,
@@ -266,6 +281,7 @@ func (n *UDPNetwork) dispatch(m *neko.Message, sentUnix int64) {
 	n.statsMu.Lock()
 	n.received++
 	n.statsMu.Unlock()
+	n.mReceived.Inc()
 	r.Receive(m)
 }
 

@@ -10,6 +10,7 @@ import (
 	"wanfd/internal/core"
 	"wanfd/internal/layers"
 	"wanfd/internal/neko"
+	"wanfd/internal/telemetry"
 	"wanfd/internal/transport"
 )
 
@@ -113,6 +114,12 @@ type MultiMonitor struct {
 	start  time.Time
 	nextID atomic.Int64 // next peer ProcessID; monotonic, never reused
 	shards [peerShards]peerShard
+
+	// Cluster-level telemetry; every field is nil (a no-op) when the
+	// monitor was built without WithTelemetry.
+	mPeers       *telemetry.Gauge
+	mPeerAdds    *telemetry.Counter
+	mPeerRemoves *telemetry.Counter
 }
 
 // multiMonitorID is the local process id of the multi-monitor; peers get
@@ -122,15 +129,18 @@ const multiMonitorID neko.ProcessID = 1000
 type namedListener struct {
 	name     string
 	onChange func(peer string, suspected bool, elapsed time.Duration)
+	reg      *telemetry.Registry
 }
 
 func (l namedListener) OnSuspect(_ string, at time.Duration) {
+	l.reg.RecordTransition(l.name, true, at)
 	if l.onChange != nil {
 		l.onChange(l.name, true, at)
 	}
 }
 
 func (l namedListener) OnTrust(_ string, at time.Duration) {
+	l.reg.RecordTransition(l.name, false, at)
 	if l.onChange != nil {
 		l.onChange(l.name, false, at)
 	}
@@ -156,8 +166,9 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		return nil, err
 	}
 	net, err := transport.NewUDPNetwork(transport.UDPConfig{
-		LocalID: multiMonitorID,
-		Listen:  listen,
+		LocalID:   multiMonitorID,
+		Listen:    listen,
+		Telemetry: o.telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +178,12 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		router: layers.NewRouter(),
 		opts:   o,
 		start:  time.Now(),
+	}
+	mm.router.Instrument(o.telemetry)
+	if reg := o.telemetry; reg != nil {
+		mm.mPeers = reg.Gauge(telemetry.MetricPeers, "Current cluster membership size.")
+		mm.mPeerAdds = reg.Counter(telemetry.MetricPeerAdds, "Peers added to the cluster monitor.")
+		mm.mPeerRemoves = reg.Counter(telemetry.MetricPeerRemoves, "Peers removed from the cluster monitor.")
 	}
 	mm.nextID.Store(int64(multiMonitorID) + 1)
 	for i := range mm.shards {
@@ -247,8 +264,9 @@ func (m *MultiMonitor) AddPeer(name, addr string) error {
 		Margin:     margin,
 		Eta:        m.opts.eta,
 		Clock:      m.ctx.Clock,
-		Listener:   namedListener{name: name, onChange: m.opts.onChange},
+		Listener:   namedListener{name: name, onChange: m.opts.onChange, reg: m.opts.telemetry},
 		MinTimeout: m.opts.minTimeout,
+		Metrics:    m.opts.telemetry.DetectorMetrics(name),
 	})
 	if err != nil {
 		return err
@@ -280,6 +298,19 @@ func (m *MultiMonitor) AddPeer(name, addr string) error {
 		return err
 	}
 	s.peers[name] = &peerEntry{name: name, addr: addr, id: id, det: det, mon: mon}
+	// State the detector tracks anyway is sampled at scrape time, not
+	// pushed per heartbeat; RemovePeer's DropSeries retires the callbacks.
+	m.opts.telemetry.DetectorFuncs(name,
+		func() (uint64, uint64, uint64) {
+			st := det.DetectorStats()
+			return st.Heartbeats, st.Stale, st.Suspicions
+		},
+		func() float64 { return det.CurrentTimeout() / 1e3 },
+		det.Suspected,
+	)
+	m.mPeerAdds.Inc()
+	// Maintained incrementally: Peers() would re-lock the shard held here.
+	m.mPeers.Add(1)
 	return nil
 }
 
@@ -304,6 +335,15 @@ func (m *MultiMonitor) RemovePeer(name string) error {
 	_ = m.net.RemovePeer(e.id)
 	_ = m.router.Unroute(e.id)
 	e.mon.Stop()
+	m.mPeerRemoves.Inc()
+	m.mPeers.Add(-1)
+	// Retire the peer's series and running QoS state so churn does not
+	// grow the exposition without bound; re-added names start fresh,
+	// matching the fresh-detector semantics.
+	if reg := m.opts.telemetry; reg != nil {
+		reg.DropSeries("peer", name)
+		reg.QoS().RemovePeer(name)
+	}
 	return nil
 }
 
@@ -414,6 +454,10 @@ func (m *MultiMonitor) Snapshot() ClusterSnapshot {
 
 // LocalAddr returns the bound UDP address string.
 func (m *MultiMonitor) LocalAddr() string { return m.net.LocalAddr().String() }
+
+// Telemetry returns the registry the monitor was built with (nil without
+// WithTelemetry).
+func (m *MultiMonitor) Telemetry() *telemetry.Registry { return m.opts.telemetry }
 
 // Close stops every detector and releases the socket.
 func (m *MultiMonitor) Close() error {

@@ -3,6 +3,8 @@ package wanfd
 import (
 	"fmt"
 	"time"
+
+	"wanfd/internal/telemetry"
 )
 
 // Option configures the functional-options entry points NewMonitor and
@@ -36,6 +38,7 @@ type options struct {
 	onSuspect        func(elapsed time.Duration)
 	onTrust          func(elapsed time.Duration)
 	peers            []peerSpec
+	telemetry        *telemetry.Registry
 }
 
 // peerSpec is one initial cluster member.
@@ -151,6 +154,20 @@ func WithSyncClock() Option {
 // through AddPeer.
 func WithPeer(name, addr string) Option {
 	return func(o *options) { o.peers = append(o.peers, peerSpec{name: name, addr: addr}) }
+}
+
+// WithTelemetry attaches a live telemetry registry to the monitor: packet,
+// dispatch and detector counters, per-peer delay and prediction-error
+// histograms, running QoS gauges (P_A, E[T_M], E[T_MR]), and a bounded
+// ring of suspicion-transition events. Both NewMonitor and NewMultiMonitor
+// support it. Telemetry is disabled (and the hot path pays only dead
+// nil-check branches) when this option is absent or reg is nil.
+//
+// The registry is exposed over HTTP by cmd/fdmonitor's -http mode
+// (GET /metrics in Prometheus text format, GET /events as JSON Lines); see
+// internal/telemetry.Mount for embedding it elsewhere.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *options) { o.telemetry = reg }
 }
 
 // rejectMonitorOnly returns an error when o carries options a cluster

@@ -7,6 +7,7 @@ import (
 	"wanfd/internal/core"
 	"wanfd/internal/layers"
 	"wanfd/internal/neko"
+	"wanfd/internal/telemetry"
 	"wanfd/internal/transport"
 )
 
@@ -50,6 +51,7 @@ type MonitorConfig struct {
 type Monitor struct {
 	net *transport.UDPNetwork
 	mon *layers.Monitor
+	reg *telemetry.Registry
 }
 
 // Process ids used by the UDP harness (one heartbeater, one monitor).
@@ -98,9 +100,10 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 		return nil, fmt.Errorf("wanfd: monitor needs the heartbeater address")
 	}
 	net, err := transport.NewUDPNetwork(transport.UDPConfig{
-		LocalID: udpMonitorID,
-		Listen:  listen,
-		Peers:   map[neko.ProcessID]string{udpHeartbeaterID: remote},
+		LocalID:   udpMonitorID,
+		Listen:    listen,
+		Peers:     map[neko.ProcessID]string{udpHeartbeaterID: remote},
+		Telemetry: o.telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -122,6 +125,7 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 		onTrust:   o.onTrust,
 		onChange:  o.onChange,
 		peer:      remote,
+		reg:       o.telemetry,
 	}
 	var consumer core.HeartbeatConsumer
 	if o.accrualThreshold > 0 {
@@ -150,10 +154,21 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 			Clock:      net.Clock(),
 			Listener:   listener,
 			MinTimeout: o.minTimeout,
+			Metrics:    o.telemetry.DetectorMetrics(remote),
 		})
 		if err != nil {
 			return nil, err
 		}
+		// State the detector tracks anyway is sampled at scrape time
+		// rather than pushed per heartbeat.
+		o.telemetry.DetectorFuncs(remote,
+			func() (uint64, uint64, uint64) {
+				st := det.DetectorStats()
+				return st.Heartbeats, st.Stale, st.Suspicions
+			},
+			func() float64 { return det.CurrentTimeout() / 1e3 },
+			det.Suspected,
+		)
 		consumer = det
 	}
 	mon, err := layers.NewConsumerMonitor(consumer)
@@ -184,7 +199,7 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 		return nil, err
 	}
 	ok = true
-	return &Monitor{net: net, mon: mon}, nil
+	return &Monitor{net: net, mon: mon, reg: o.telemetry}, nil
 }
 
 // Suspected reports the detector's current output.
@@ -304,3 +319,7 @@ func (h *Heartbeater) Close() error {
 
 // LocalAddr returns the monitor's bound UDP address string.
 func (m *Monitor) LocalAddr() string { return m.net.LocalAddr().String() }
+
+// Telemetry returns the registry the monitor was built with (nil without
+// WithTelemetry).
+func (m *Monitor) Telemetry() *telemetry.Registry { return m.reg }
