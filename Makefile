@@ -2,19 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet cover reproduce fuzz clean
+.PHONY: all build test race bench fmt vet lint cover reproduce fuzz clean
 
-all: fmt vet build test
+all: fmt vet lint build test
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...
 
+# Benchmarks run without -race: the detector's hot-path numbers are the
+# point, and the race detector's ~10x slowdown would make them meaningless.
+# The race target covers the same packages' tests.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -24,8 +27,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific invariants (clock boundary, mutex discipline, atomics,
+# nil-safety, unit mixing, deprecations) — see internal/analysis.
+lint:
+	$(GO) run ./cmd/fdlint ./...
+
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -race -cover ./...
 
 # Regenerate every table and figure of the paper.
 reproduce:
@@ -35,6 +43,7 @@ reproduce:
 
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/transport/
+	$(GO) test -fuzz FuzzHeartbeatRoundTrip -fuzztime 30s ./internal/transport/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/trace/
 
 clean:

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"wanfd"
+	"wanfd/internal/sim"
 	"wanfd/internal/telemetry"
 )
 
@@ -114,7 +115,7 @@ type singleStatus struct {
 }
 
 // singleHandler builds the HTTP surface of a single-peer monitor.
-func singleHandler(mon *wanfd.Monitor, remote string, start time.Time, reg *telemetry.Registry) http.Handler {
+func singleHandler(mon *wanfd.Monitor, remote string, clk *sim.RealClock, reg *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -126,7 +127,7 @@ func singleHandler(mon *wanfd.Monitor, remote string, start time.Time, reg *tele
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(singleStatus{
 			Remote:        remote,
-			Uptime:        time.Since(start),
+			Uptime:        clk.Now(),
 			Suspected:     mon.Suspected(),
 			Timeout:       mon.Timeout(),
 			Phi:           mon.Phi(),
@@ -139,9 +140,9 @@ func singleHandler(mon *wanfd.Monitor, remote string, start time.Time, reg *tele
 }
 
 func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration, reg *telemetry.Registry) error {
-	start := time.Now()
+	clk := sim.NewRealClock()
 	stamp := func(elapsed time.Duration) string {
-		return start.Add(elapsed).Format("15:04:05.000")
+		return clk.Epoch().Add(elapsed).Format("15:04:05.000")
 	}
 	opts := []wanfd.Option{
 		wanfd.WithEta(eta),
@@ -171,7 +172,7 @@ func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, ma
 
 	var httpErr chan error
 	if httpAddr != "" {
-		srv, ln, errCh, err := serveHTTP(httpAddr, singleHandler(mon, remote, start, reg))
+		srv, ln, errCh, err := serveHTTP(httpAddr, singleHandler(mon, remote, clk, reg))
 		if err != nil {
 			return err
 		}
@@ -206,11 +207,11 @@ func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, ma
 			s := mon.DetectorStats()
 			if accrual > 0 {
 				fmt.Printf("%s stats: heartbeats %d (stale %d), suspicions %d, phi %.2f, suspected %v\n",
-					time.Now().Format("15:04:05.000"), s.Heartbeats, s.Stale, s.Suspicions,
+					clk.WallTime().Format("15:04:05.000"), s.Heartbeats, s.Stale, s.Suspicions,
 					mon.Phi(), mon.Suspected())
 			} else {
 				fmt.Printf("%s stats: heartbeats %d (stale %d), suspicions %d, timeout %v, suspected %v\n",
-					time.Now().Format("15:04:05.000"), s.Heartbeats, s.Stale, s.Suspicions,
+					clk.WallTime().Format("15:04:05.000"), s.Heartbeats, s.Stale, s.Suspicions,
 					mon.Timeout().Round(time.Millisecond), mon.Suspected())
 			}
 		}
@@ -247,7 +248,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 	if err != nil {
 		return err
 	}
-	start := time.Now()
+	clk := sim.NewRealClock()
 	opts := []wanfd.Option{
 		wanfd.WithEta(eta),
 		wanfd.WithPredictor(predictor),
@@ -258,7 +259,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 			if suspected {
 				state = "SUSPECT"
 			}
-			fmt.Printf("%s %s %s\n", start.Add(at).Format("15:04:05.000"), state, peer)
+			fmt.Printf("%s %s %s\n", clk.Epoch().Add(at).Format("15:04:05.000"), state, peer)
 		}),
 	}
 	for _, p := range peers {
@@ -274,7 +275,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 
 	var httpErr chan error
 	if httpAddr != "" {
-		srv, ln, errCh, err := serveHTTP(httpAddr, clusterHandler(mon, reg))
+		srv, ln, errCh, err := serveHTTP(httpAddr, clusterHandler(mon, clk, reg))
 		if err != nil {
 			return err
 		}
@@ -308,7 +309,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 		case <-tick:
 			snap := mon.Snapshot()
 			fmt.Printf("%s cluster: %d peers, %d trusted, %d suspected, %d heartbeats (%d stale)\n",
-				time.Now().Format("15:04:05.000"), snap.Peers, snap.Trusted, snap.Suspected,
+				clk.WallTime().Format("15:04:05.000"), snap.Peers, snap.Trusted, snap.Suspected,
 				snap.Totals.Heartbeats, snap.Totals.Stale)
 			suspected := make([]string, 0, snap.Suspected)
 			for _, p := range snap.PeerStatuses {
@@ -325,7 +326,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 }
 
 // clusterHandler builds the HTTP front-end over a live MultiMonitor.
-func clusterHandler(mon *wanfd.MultiMonitor, reg *telemetry.Registry) http.Handler {
+func clusterHandler(mon *wanfd.MultiMonitor, clk *sim.RealClock, reg *telemetry.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -354,14 +355,14 @@ func clusterHandler(mon *wanfd.MultiMonitor, reg *telemetry.Registry) http.Handl
 				http.Error(w, err.Error(), http.StatusConflict)
 				return
 			}
-			fmt.Printf("%s JOINED  %s (%s)\n", time.Now().Format("15:04:05.000"), name, addr)
+			fmt.Printf("%s JOINED  %s (%s)\n", clk.WallTime().Format("15:04:05.000"), name, addr)
 			w.WriteHeader(http.StatusCreated)
 		case http.MethodDelete:
 			if err := mon.RemovePeer(name); err != nil {
 				http.Error(w, err.Error(), http.StatusNotFound)
 				return
 			}
-			fmt.Printf("%s LEFT    %s\n", time.Now().Format("15:04:05.000"), name)
+			fmt.Printf("%s LEFT    %s\n", clk.WallTime().Format("15:04:05.000"), name)
 			w.WriteHeader(http.StatusNoContent)
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -14,6 +14,7 @@ import (
 
 	"wanfd"
 	"wanfd/internal/nekostat"
+	"wanfd/internal/sim"
 	"wanfd/internal/telemetry"
 )
 
@@ -143,7 +144,7 @@ func TestClusterHTTPSurface(t *testing.T) {
 	}
 	defer mon.Close()
 
-	srv := httptest.NewServer(clusterHandler(mon, reg))
+	srv := httptest.NewServer(clusterHandler(mon, sim.NewRealClock(), reg))
 	defer srv.Close()
 
 	hbA, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{Listen: aAddr, Remote: monAddr, Eta: eta})
@@ -309,7 +310,7 @@ func TestSingleHTTPSurface(t *testing.T) {
 	}
 	defer mon.Close()
 
-	srv := httptest.NewServer(singleHandler(mon, hbAddr, time.Now(), reg))
+	srv := httptest.NewServer(singleHandler(mon, hbAddr, sim.NewRealClock(), reg))
 	defer srv.Close()
 
 	if !waitFor(t, 5*time.Second, func() bool {

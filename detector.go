@@ -172,7 +172,7 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 // host, per the paper's assumption).
 func (d *Detector) Heartbeat(seq int64, sentAt time.Time) {
 	now := d.clock.Now()
-	sendElapsed := now - time.Since(sentAt)
+	sendElapsed := d.clock.At(sentAt)
 	d.det.OnHeartbeat(seq, sendElapsed, now)
 }
 

@@ -51,7 +51,7 @@ func main() {
 
 	fmt.Println("phase 1: heartbeats flowing for 2s")
 	time.Sleep(2 * time.Second)
-	hbs, _, _ := mon.Stats()
+	hbs := mon.DetectorStats().Heartbeats
 	fmt.Printf("  heartbeats seen: %d, timeout: %v, suspected: %v\n",
 		hbs, mon.Timeout().Round(time.Millisecond), mon.Suspected())
 

@@ -5,6 +5,8 @@
 // heartbeater at the planned rate and watch it meet its detection bound.
 //
 // Run with: go run ./examples/qosplanning
+//
+//fdlint:file-ignore clockuse the example plays the application role, timing the demo loop on the real wall clock
 package main
 
 import (

@@ -6,6 +6,8 @@
 // corrected.
 //
 // Run with: go run ./examples/quickstart
+//
+//fdlint:file-ignore clockuse the example plays the application role, feeding real wall-clock send times into the public API
 package main
 
 import (
@@ -69,6 +71,6 @@ func main() {
 	}
 	fmt.Printf("  suspected=%v\n", det.Suspected())
 
-	hb, stale, susp := det.Stats()
-	fmt.Printf("done: %d heartbeats (%d stale), %d suspicion episodes\n", hb, stale, susp)
+	s := det.DetectorStats()
+	fmt.Printf("done: %d heartbeats (%d stale), %d suspicion episodes\n", s.Heartbeats, s.Stale, s.Suspicions)
 }

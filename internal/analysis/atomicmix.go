@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix forbids mixed access disciplines on a struct field: a field
+// updated through sync/atomic anywhere in the package must be accessed
+// atomically everywhere, or the plain accesses race with the atomic ones
+// (Go's memory model gives the mix no useful guarantee). This is the
+// telemetry registry's counter/gauge contract. Intentional pre-publish
+// initialization can be annotated with //fdlint:ignore atomicmix.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "plain access to a struct field that is accessed via sync/atomic elsewhere",
+	Run:  runAtomicMix,
+}
+
+// atomicFuncPrefixes match the sync/atomic package-level operations that
+// take the address of the word they operate on.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicFuncName(name string) bool {
+	for _, p := range atomicFuncPrefixes {
+		if len(name) > len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: every field reached as atomic.Op(&x.f, ...) is an atomic
+	// field; the &x.f selector itself is the sanctioned access.
+	atomicFields := make(map[*types.Var]string) // field -> example op
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := pkgFunc(info, call, "sync/atomic")
+			if !ok || !isAtomicFuncName(name) {
+				return true
+			}
+			addr, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op.String() != "&" {
+				return true
+			}
+			sel, ok := unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok {
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = "atomic." + name
+					}
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other selector resolving to an atomic field is a plain
+	// (racy) access.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if op, isAtomic := atomicFields[v]; isAtomic {
+				pass.Report(sel.Pos(),
+					"plain access to field %s, which is accessed via %s elsewhere in the package",
+					v.Name(), op)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DeprecatedUse flags references to functions and methods whose doc
+// comment carries a "Deprecated:" notice, across every package the
+// driver loaded — the mechanism that keeps callers off the tuple Stats()
+// wrappers now that DetectorStats names the counters. The deprecated
+// declaration itself (and its wrapper body) is not a reference.
+var DeprecatedUse = &Analyzer{
+	Name: "deprecated",
+	Doc:  "reference to a function or method documented as Deprecated:",
+	Run:  runDeprecatedUse,
+}
+
+func runDeprecatedUse(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if notice, ok := pass.Prog.deprecat[obj]; ok {
+				pass.Report(id.Pos(), "use of deprecated %s: %s", id.Name, notice)
+			}
+			return true
+		})
+	}
+}

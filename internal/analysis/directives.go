@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// fileIgnores holds one file's //fdlint:ignore and //fdlint:file-ignore
+// directives.
+type fileIgnores struct {
+	// file is the set of analyzer names suppressed for the whole file.
+	file map[string]bool
+	// lines maps a line number to the analyzer names suppressed there. A
+	// line directive covers both its own line (trailing comment) and the
+	// next (comment above the statement).
+	lines map[int]map[string]bool
+}
+
+// scanIgnores collects the fdlint directives of one parsed file.
+func scanIgnores(fset *token.FileSet, f *ast.File) *fileIgnores {
+	ig := &fileIgnores{file: make(map[string]bool), lines: make(map[int]map[string]bool)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if rest, ok := strings.CutPrefix(text, "fdlint:file-ignore "); ok {
+				for _, name := range directiveNames(rest) {
+					ig.file[name] = true
+				}
+				continue
+			}
+			rest, ok := strings.CutPrefix(text, "fdlint:ignore ")
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, name := range directiveNames(rest) {
+				for _, l := range []int{line, line + 1} {
+					if ig.lines[l] == nil {
+						ig.lines[l] = make(map[string]bool)
+					}
+					ig.lines[l][name] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// directiveNames parses the comma-separated analyzer list heading a
+// directive; everything after the first space is the human reason.
+func directiveNames(rest string) []string {
+	names, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	var out []string
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ignored reports whether a diagnostic is suppressed by a directive.
+func (prog *Program) ignored(d Diagnostic) bool {
+	ig := prog.ignores[d.Pos.Filename]
+	if ig == nil {
+		return false
+	}
+	if ig.file[d.Analyzer] {
+		return true
+	}
+	return ig.lines[d.Pos.Line][d.Analyzer]
+}

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MutexHold forbids blocking or heavyweight operations while a mutex is
+// held: channel sends/receives, select, network I/O, time.Sleep and raw
+// histogram Observe calls. Held mutexes bound the detection-time tail —
+// a heartbeat blocked behind a lock is indistinguishable from a slow
+// network. telemetry.BatchObserver is the sanctioned under-lock
+// observation path (plain adds into a private buffer).
+//
+// The check is an intraprocedural heuristic: lock state is tracked in
+// source order within one function body (defer Unlock keeps the lock held
+// to the end), and calls into other functions are not followed.
+var MutexHold = &Analyzer{
+	Name: "mutexhold",
+	Doc:  "channel ops, network I/O, time.Sleep or histogram Observe while a mutex is held",
+	Run:  runMutexHold,
+}
+
+// netIONames are the package-net calls that actually touch the wire (or
+// block on it). Methods like Addr.String are pure formatting and stay
+// legal under a lock.
+var netIONames = map[string]bool{
+	"Read": true, "ReadFrom": true, "ReadFromUDP": true, "ReadMsgUDP": true,
+	"Write": true, "WriteTo": true, "WriteToUDP": true, "WriteMsgUDP": true,
+	"Dial": true, "DialUDP": true, "DialTCP": true, "DialTimeout": true,
+	"Listen": true, "ListenUDP": true, "ListenTCP": true, "ListenPacket": true,
+	"Accept": true, "AcceptTCP": true, "Close": true,
+	"LookupHost": true, "LookupAddr": true, "LookupIP": true,
+}
+
+func runMutexHold(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		// Every function body — declarations and literals alike — is
+		// analyzed with its own empty lock state: a literal's body runs
+		// whenever it is invoked, not necessarily where it is written.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					mh := &mutexWalker{pass: pass, held: make(map[string]bool)}
+					mh.stmts(fn.Body.List)
+				}
+			case *ast.FuncLit:
+				mh := &mutexWalker{pass: pass, held: make(map[string]bool)}
+				mh.stmts(fn.Body.List)
+			}
+			return true
+		})
+	}
+}
+
+// mutexWalker tracks which mutexes are held while walking one function
+// body in source order.
+type mutexWalker struct {
+	pass *Pass
+	held map[string]bool // printed lock expression, e.g. "d.mu"
+}
+
+// heldList renders the held set for messages.
+func (w *mutexWalker) heldList() string {
+	names := make([]string, 0, len(w.held))
+	for n := range w.held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// lockOp classifies a call as a lock or unlock on a sync.Mutex or
+// sync.RWMutex, returning the printed receiver expression.
+func (w *mutexWalker) lockOp(call *ast.CallExpr) (expr string, lock, unlock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return "", false, false
+	}
+	tv, ok := w.pass.Pkg.Info.Types[sel.X]
+	if !ok {
+		return "", false, false
+	}
+	switch name := typeName(tv.Type); name {
+	case "Mutex", "RWMutex":
+	default:
+		return "", false, false
+	}
+	return types.ExprString(sel.X), lock, unlock
+}
+
+// stmts walks a statement list in source order, updating the held set and
+// checking each statement's expressions while any mutex is held. Nested
+// blocks share the held set: branches are treated as executing in source
+// order, an approximation that keeps lock/unlock pairs split across
+// if/else arms balanced.
+func (w *mutexWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *mutexWalker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if expr, lock, unlock := w.lockOp(call); lock || unlock {
+				if lock {
+					w.held[expr] = true
+				} else {
+					delete(w.held, expr)
+				}
+				return
+			}
+		}
+		w.check(st.X)
+	case *ast.DeferStmt:
+		if _, _, unlock := w.lockOp(st.Call); unlock {
+			// Deferred unlock runs at return: the mutex stays held for
+			// the remainder of the body.
+			return
+		}
+		w.checkExprs(st.Call.Args...)
+	case *ast.GoStmt:
+		// The spawned body runs without this goroutine's locks; only the
+		// argument evaluation happens under them.
+		w.checkExprs(st.Call.Args...)
+	case *ast.BlockStmt:
+		w.stmts(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.check(st.Cond)
+		w.stmts(st.Body.List)
+		if st.Else != nil {
+			w.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.check(st.Cond)
+		}
+		w.stmts(st.Body.List)
+		if st.Post != nil {
+			w.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		if len(w.held) > 0 {
+			if tv, ok := w.pass.Pkg.Info.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					w.pass.Report(st.Pos(), "range over channel while holding %s", w.heldList())
+				}
+			}
+		}
+		w.check(st.X)
+		w.stmts(st.Body.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.check(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.checkExprs(cc.List...)
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		if len(w.held) > 0 {
+			w.pass.Report(st.Pos(), "select while holding %s", w.heldList())
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	case *ast.SendStmt:
+		if len(w.held) > 0 {
+			w.pass.Report(st.Pos(), "channel send while holding %s", w.heldList())
+		}
+		w.checkExprs(st.Value)
+	case *ast.AssignStmt:
+		w.checkExprs(st.Rhs...)
+	case *ast.ReturnStmt:
+		w.checkExprs(st.Results...)
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		if len(w.held) > 0 {
+			if ds, ok := st.(*ast.DeclStmt); ok {
+				w.check(ds)
+			}
+		}
+	default:
+	}
+}
+
+func (w *mutexWalker) checkExprs(exprs ...ast.Expr) {
+	for _, e := range exprs {
+		w.check(e)
+	}
+}
+
+// check scans one expression subtree for forbidden operations, without
+// descending into function literals (their bodies get their own walk with
+// an empty lock state).
+func (w *mutexWalker) check(n ast.Node) {
+	if len(w.held) == 0 || n == nil {
+		return
+	}
+	info := w.pass.Pkg.Info
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				w.pass.Report(e.Pos(), "channel receive while holding %s", w.heldList())
+			}
+		case *ast.CallExpr:
+			if name, ok := pkgFunc(info, e, "time"); ok && name == "Sleep" {
+				w.pass.Report(e.Pos(), "time.Sleep while holding %s", w.heldList())
+				return true
+			}
+			sel, ok := e.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net" &&
+				netIONames[sel.Sel.Name] {
+				w.pass.Report(e.Pos(), "network I/O (net.%s) while holding %s",
+					sel.Sel.Name, w.heldList())
+				return true
+			}
+			if sel.Sel.Name == "Observe" {
+				if s, ok := info.Selections[sel]; ok && typeName(s.Recv()) == "Histogram" {
+					w.pass.Report(e.Pos(),
+						"histogram Observe while holding %s; buffer through a BatchObserver instead",
+						w.heldList())
+				}
+			}
+		}
+		return true
+	})
+}

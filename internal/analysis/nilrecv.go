@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NilRecv enforces the telemetry subsystem's nil-safety contract: on a
+// type whose doc comment carries the //fdlint:nilsafe directive, every
+// exported pointer-receiver method must begin with a nil-receiver guard
+// (if recv == nil / if recv != nil), so a disabled-telemetry monitor can
+// call through nil handles at the cost of one branch. Methods that never
+// touch their receiver are trivially nil-safe and exempt.
+var NilRecv = &Analyzer{
+	Name: "nilrecv",
+	Doc:  "exported method on a //fdlint:nilsafe type without a leading nil-receiver guard",
+	Run:  runNilRecv,
+}
+
+const nilsafeMarker = "fdlint:nilsafe"
+
+func runNilRecv(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Collect the marked type names.
+	nilsafe := make(map[types.Object]bool)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc) || hasMarker(ts.Doc) {
+					if obj := info.Defs[ts.Name]; obj != nil {
+						nilsafe[obj] = true
+					}
+				}
+			}
+		}
+	}
+	if len(nilsafe) == 0 {
+		return
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			star, ok := recv.Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receivers cannot be nil
+			}
+			base, ok := unparen(star.X).(*ast.Ident)
+			if !ok || !nilsafe[info.Uses[base]] {
+				continue
+			}
+			if len(recv.Names) == 0 {
+				continue // anonymous receiver: cannot be referenced, nil-safe
+			}
+			recvName := recv.Names[0].Name
+			if recvName == "_" || !usesIdent(fd.Body, recvName, info, info.Defs[recv.Names[0]]) {
+				continue
+			}
+			if hasNilGuard(fd.Body, recvName) {
+				continue
+			}
+			pass.Report(fd.Name.Pos(),
+				"exported method %s.%s must begin with a nil-receiver guard (type is marked %s)",
+				base.Name, fd.Name.Name, "//"+nilsafeMarker)
+		}
+	}
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimPrefix(c.Text, "//") == nilsafeMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// usesIdent reports whether the body references the receiver object.
+func usesIdent(body *ast.BlockStmt, name string, info *types.Info, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if obj == nil || info.Uses[id] == obj {
+				used = true
+			}
+		}
+		return !used
+	})
+	return used
+}
+
+// hasNilGuard reports whether the first statement compares the receiver
+// with nil (either polarity). Compound guards count when the nil check
+// leads the condition: `if r == nil || fn == nil` short-circuits before
+// anything dereferences r.
+func hasNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	cond := unparen(ifs.Cond)
+	for {
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if op := bin.Op.String(); op == "||" || op == "&&" {
+			cond = unparen(bin.X)
+			continue
+		}
+		break
+	}
+	cmp := cond.(*ast.BinaryExpr)
+	op := cmp.Op.String()
+	if op != "==" && op != "!=" {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(cmp.X) && isNil(cmp.Y)) || (isNil(cmp.X) && isRecv(cmp.Y))
+}

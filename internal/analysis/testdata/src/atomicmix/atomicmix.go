@@ -1,0 +1,40 @@
+// Package atomicmix seeds violations for the atomicmix analyzer: struct
+// fields accessed both atomically and plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	drops int64
+	name  string
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) racyRead() int64 {
+	return c.hits // violation: plain read of an atomic field
+}
+
+func (c *counters) racyReset() {
+	c.hits = 0 // violation: plain write of an atomic field
+}
+
+func (c *counters) dropsNeverAtomic() int64 {
+	c.drops++ // fine: drops is never accessed atomically
+	return c.drops
+}
+
+func (c *counters) nameIsFine() string {
+	return c.name
+}
+
+func (c *counters) suppressed() int64 {
+	return c.hits //fdlint:ignore atomicmix read before the goroutines start
+}

@@ -1,0 +1,27 @@
+// Package clockuse seeds violations for the clockuse analyzer: direct
+// wall-clock reads that must instead flow through the injected sim.Clock.
+package clockuse
+
+import "time"
+
+func now() time.Time { return time.Now() } // violation: time.Now
+
+func since(t time.Time) time.Duration {
+	return time.Since(t) // violation: time.Since
+}
+
+func until(t time.Time) time.Duration {
+	return time.Until(t) // violation: time.Until
+}
+
+func after() {
+	<-time.After(time.Second) // violation: time.After
+}
+
+func constantsAreFine() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func directiveSuppresses() time.Time {
+	return time.Now() //fdlint:ignore clockuse epoch establishment is the one sanctioned read
+}

@@ -1,0 +1,34 @@
+// Package deprecated seeds violations for the deprecated analyzer: calls
+// to functions and methods documented as Deprecated.
+package deprecated
+
+type detector struct{ heartbeats, stale uint64 }
+
+// DetectorStats names the counters.
+func (d *detector) DetectorStats() (heartbeats, stale uint64) {
+	return d.heartbeats, d.stale
+}
+
+// Stats reports the counters as a bare tuple.
+//
+// Deprecated: use DetectorStats, which names the counters.
+func (d *detector) Stats() (uint64, uint64) {
+	return d.DetectorStats() // the wrapper body itself is not a violation
+}
+
+// Tuple is a deprecated free function.
+//
+// Deprecated: use DetectorStats.
+func Tuple(d *detector) (uint64, uint64) { return d.DetectorStats() }
+
+func caller(d *detector) (uint64, uint64) {
+	return d.Stats() // violation: deprecated method
+}
+
+func freeCaller(d *detector) (uint64, uint64) {
+	return Tuple(d) // violation: deprecated function
+}
+
+func fine(d *detector) (uint64, uint64) {
+	return d.DetectorStats()
+}

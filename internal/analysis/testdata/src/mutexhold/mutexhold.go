@@ -1,0 +1,80 @@
+// Package mutexhold seeds violations for the mutexhold analyzer:
+// blocking and heavyweight operations performed while a mutex is held.
+package mutexhold
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Histogram mimics the telemetry histogram: Observe under a lock is the
+// contention the BatchObserver exists to avoid.
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+// BatchObserver is the sanctioned under-lock observation path.
+type BatchObserver struct{}
+
+func (b *BatchObserver) Observe(v float64) {}
+
+type detector struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	hist  *Histogram
+	batch *BatchObserver
+	conn  net.Conn
+}
+
+func (d *detector) sendUnderLock() {
+	d.mu.Lock()
+	d.ch <- 1 // violation: channel send
+	d.mu.Unlock()
+}
+
+func (d *detector) recvUnderDeferredLock() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return <-d.ch // violation: channel receive (lock held via defer)
+}
+
+func (d *detector) sleepUnderRLock() {
+	d.rw.RLock()
+	time.Sleep(time.Millisecond) // violation: time.Sleep
+	d.rw.RUnlock()
+}
+
+func (d *detector) observeUnderLock(v float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hist.Observe(v)  // violation: histogram Observe
+	d.batch.Observe(v) // sanctioned: BatchObserver
+}
+
+func (d *detector) readUnderLock(buf []byte) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, _ := d.conn.Read(buf) // violation: network I/O
+	return n
+}
+
+func (d *detector) selectUnderLock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select { // violation: select
+	case v := <-d.ch:
+		_ = v
+	default:
+	}
+}
+
+func (d *detector) unlockedOpsAreFine(v float64) {
+	d.mu.Lock()
+	d.hist.Observe(0) // violation: still held here
+	d.mu.Unlock()
+	d.ch <- 2 // fine: released
+	d.hist.Observe(v)
+	time.Sleep(time.Millisecond)
+}

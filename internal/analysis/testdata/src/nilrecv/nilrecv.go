@@ -1,0 +1,43 @@
+// Package nilrecv seeds violations for the nilrecv analyzer: exported
+// methods on //fdlint:nilsafe types missing the leading nil-receiver
+// guard.
+package nilrecv
+
+// Counter is a nil-safe instrument handle: every exported method must
+// tolerate a nil receiver.
+//
+//fdlint:nilsafe
+type Counter struct{ v uint64 }
+
+// Inc is properly guarded.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add is missing the guard. // violation
+func (c *Counter) Add(n uint64) {
+	c.v += n
+}
+
+// Value uses the inverted guard polarity, which is fine.
+func (c *Counter) Value() uint64 {
+	if c != nil {
+		return c.v
+	}
+	return 0
+}
+
+// Name never touches the receiver, so it is trivially nil-safe.
+func (c *Counter) Name() string { return "counter" }
+
+// reset is unexported: internal call sites guard at the boundary.
+func (c *Counter) reset() { c.v = 0 }
+
+// Plain carries no marker; its methods may assume a non-nil receiver.
+type Plain struct{ v int }
+
+// Bump is fine without a guard.
+func (p *Plain) Bump() { p.v++ }

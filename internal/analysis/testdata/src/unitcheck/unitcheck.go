@@ -1,0 +1,30 @@
+// Package unitcheck seeds violations for the unitcheck analyzer:
+// arithmetic mixing time.Duration nanosecond counts with raw millisecond
+// variables.
+package unitcheck
+
+import "time"
+
+func toDuration(delayMs int64) time.Duration {
+	return time.Duration(delayMs) // violation: ms count read as ns
+}
+
+func toDurationScaled(delayMs int64) time.Duration {
+	return time.Duration(delayMs) * time.Millisecond // fine: unit factor
+}
+
+func mixAdd(eta time.Duration, windowMs int64) int64 {
+	return int64(eta) + windowMs // violation: ns count + ms count
+}
+
+func mixCompare(eta time.Duration, timeoutMs float64) bool {
+	return float64(eta) > timeoutMs // violation: ns count vs ms count
+}
+
+func widenAlone(eta time.Duration) float64 {
+	return float64(eta) / float64(time.Millisecond) // fine: explicit unit
+}
+
+func durationArithmetic(a, b time.Duration) time.Duration {
+	return a + b // fine: both sides carry the unit
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UnitCheck flags arithmetic that mixes time.Duration nanosecond counts
+// with raw variables named as milliseconds — the silent unit skew that
+// corrupts QoS estimates (a freshness point computed from a millisecond
+// count read as nanoseconds misses by six orders of magnitude). Two
+// patterns are caught:
+//
+//  1. time.Duration(xMs) — converting a millisecond-named count yields
+//     nanoseconds; the sanctioned spelling multiplies by a time unit,
+//     time.Duration(xMs) * time.Millisecond.
+//  2. int64(d) + xMs (any arithmetic or comparison) — a Duration widened
+//     to its nanosecond count combined with a millisecond-named operand.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "arithmetic mixing time.Duration nanosecond counts with millisecond-named variables",
+	Run:  runUnitCheck,
+}
+
+// msName reports whether an identifier names a millisecond quantity.
+// Suffix matching is deliberately conservative so words that merely end
+// in "ms" (params, atoms) do not match.
+func msName(name string) bool {
+	switch {
+	case name == "ms", name == "msec", name == "millis":
+		return true
+	case strings.HasSuffix(name, "Ms"), strings.HasSuffix(name, "_ms"),
+		strings.HasSuffix(name, "Msec"), strings.HasSuffix(name, "Millis"):
+		return true
+	}
+	return false
+}
+
+// terminalName returns the rightmost identifier of an expression
+// (x, a.x), or "".
+func terminalName(e ast.Expr) string {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	}
+	return ""
+}
+
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// conversionOf classifies call as a type conversion to target ("Duration"
+// for time.Duration, or a numeric basic type name) and returns the single
+// argument.
+func conversionArg(info *types.Info, call *ast.CallExpr) (ast.Expr, types.Type, bool) {
+	if len(call.Args) != 1 {
+		return nil, nil, false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, nil, false
+	}
+	return call.Args[0], tv.Type, true
+}
+
+func runUnitCheck(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// A time.Duration(x) conversion is sanctioned when it is immediately
+	// scaled by a Duration-typed unit: time.Duration(x) * time.Millisecond.
+	scaled := make(map[*ast.CallExpr]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || bin.Op.String() != "*" {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+				call, ok := unparen(pair[0]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if _, target, isConv := conversionArg(info, call); isConv && isDuration(target) {
+					if tv, ok := info.Types[pair[1]]; ok && isDuration(tv.Type) {
+						scaled[call] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				// Pattern 1: time.Duration(xMs) without a unit factor.
+				if scaled[e] {
+					return true
+				}
+				arg, target, isConv := conversionArg(info, e)
+				if !isConv || !isDuration(target) {
+					return true
+				}
+				name := terminalName(arg)
+				if !msName(name) {
+					return true
+				}
+				if tv, ok := info.Types[arg]; ok && isDuration(tv.Type) {
+					return true // already a Duration; renaming is not our business
+				}
+				pass.Report(e.Pos(),
+					"time.Duration(%s) reads a millisecond count as nanoseconds; multiply by time.Millisecond",
+					name)
+			case *ast.BinaryExpr:
+				// Pattern 2: numeric-widened Duration combined with a
+				// millisecond-named operand.
+				switch e.Op.String() {
+				case "+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=":
+				default:
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+					call, ok := unparen(pair[0]).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					arg, target, isConv := conversionArg(info, call)
+					if !isConv {
+						continue
+					}
+					if b, ok := target.Underlying().(*types.Basic); !ok || b.Info()&types.IsNumeric == 0 {
+						continue
+					}
+					tv, ok := info.Types[arg]
+					if !ok || !isDuration(tv.Type) {
+						continue
+					}
+					if tv.Value != nil {
+						// float64(time.Millisecond) and friends: a constant
+						// unit factor, which is the sanctioned scaling idiom
+						// (ms * float64(time.Millisecond)).
+						continue
+					}
+					other := terminalName(pair[1])
+					if msName(other) {
+						pass.Report(e.Pos(),
+							"mixing %s(Duration) nanoseconds with millisecond-named %s",
+							types.ExprString(call.Fun), other)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}

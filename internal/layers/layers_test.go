@@ -228,7 +228,7 @@ func TestMonitorFeedsDetector(t *testing.T) {
 	if err := eng.Run(500 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	hb, _, _ := det.Stats()
+	hb := det.DetectorStats().Heartbeats
 	if hb != 1 {
 		t.Errorf("detector heartbeats = %d, want 1", hb)
 	}
@@ -375,7 +375,7 @@ func TestEndToEndCrashDetection(t *testing.T) {
 	monitorProc.Stop()
 	for _, m := range monitors {
 		m.Stop()
-		_, _, susp := m.Detector().Stats()
+		susp := m.Detector().DetectorStats().Suspicions
 		if susp == 0 {
 			t.Errorf("detector %s never suspected despite a crash", m.Detector().Name())
 		}

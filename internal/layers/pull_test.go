@@ -117,7 +117,8 @@ func TestPullEndToEndDetection(t *testing.T) {
 	if puller.Pings() < 390 {
 		t.Errorf("pings = %d, want ≈400", puller.Pings())
 	}
-	hb, _, susp := det.Stats()
+	s := det.DetectorStats()
+	hb, susp := s.Heartbeats, s.Suspicions
 	if hb == 0 {
 		t.Fatal("no pongs reached the detector")
 	}

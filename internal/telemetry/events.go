@@ -11,6 +11,8 @@ import (
 // transitions, reusing the nekostat event kinds so a live monitor's
 // /events stream round-trips through the same JSONL codec as post-hoc
 // experiment logs. The nil ring is a valid no-op.
+//
+//fdlint:nilsafe
 type EventRing struct {
 	mu    sync.Mutex
 	buf   []nekostat.Event
@@ -74,6 +76,9 @@ func (r *EventRing) Events() []nekostat.Event {
 // Last returns the newest n buffered events, oldest first; n <= 0 means
 // all of them.
 func (r *EventRing) Last(n int) []nekostat.Event {
+	if r == nil {
+		return nil
+	}
 	evs := r.Events()
 	if n > 0 && len(evs) > n {
 		evs = evs[len(evs)-n:]
@@ -85,5 +90,8 @@ func (r *EventRing) Last(n int) []nekostat.Event {
 // JSON Lines through the nekostat codec, so consumers can parse them with
 // nekostat.ReadEvents.
 func (r *EventRing) WriteJSONL(w io.Writer, n int) error {
+	if r == nil {
+		return nekostat.WriteEvents(w, nil)
+	}
 	return nekostat.WriteEvents(w, r.Last(n))
 }

@@ -59,6 +59,8 @@ const (
 // adds with plain adds. All fields are nil-safe, so the bundle (and the
 // whole pointer) may be nil when telemetry is disabled — the detector
 // then pays one branch per heartbeat.
+//
+//fdlint:nilsafe
 type DetectorMetrics struct {
 	// Late counts heartbeats that arrived while the peer was suspected —
 	// deliveries past their freshness point.
@@ -119,7 +121,10 @@ func (r *Registry) DetectorFuncs(peer string, stats func() (heartbeats, stale, s
 	}, "peer", peer)
 }
 
-// TransportMetrics is the socket-level handle bundle.
+// TransportMetrics is the socket-level handle bundle. Like
+// DetectorMetrics, the whole pointer may be nil when telemetry is off.
+//
+//fdlint:nilsafe
 type TransportMetrics struct {
 	// Sent and Received count packets written to and decoded from the
 	// socket.

@@ -19,6 +19,8 @@ import (
 // nekostat.ComputeQoS, not a replacement for it.
 //
 // The nil estimator is a valid no-op.
+//
+//fdlint:nilsafe
 type QoSEstimator struct {
 	mu    sync.Mutex
 	peers map[string]*peerQoS

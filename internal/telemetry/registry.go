@@ -26,6 +26,8 @@ import (
 
 // Counter is a monotonically increasing atomic counter. The nil counter is
 // a valid no-op.
+//
+//fdlint:nilsafe
 type Counter struct {
 	v atomic.Uint64
 }
@@ -53,6 +55,8 @@ func (c *Counter) Value() uint64 {
 }
 
 // Gauge is an atomically settable float64. The nil gauge is a valid no-op.
+//
+//fdlint:nilsafe
 type Gauge struct {
 	bits atomic.Uint64
 }
@@ -98,6 +102,8 @@ const histSumScale = 1e9
 // bucket catches the rest. The total count is derived from the buckets at
 // read time, so the hot path is exactly two atomic adds. The nil histogram
 // is a valid no-op.
+//
+//fdlint:nilsafe
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
@@ -139,6 +145,8 @@ const batchFlushEvery = 8
 // per-observation cost from two atomic adds into two plain adds, at the
 // price of the histogram lagging each producer by at most
 // batchFlushEvery-1 observations. The nil BatchObserver is a valid no-op.
+//
+//fdlint:nilsafe
 type BatchObserver struct {
 	h       *Histogram
 	bounds  []float64 // h.bounds, cached so Observe scans without a call
@@ -262,6 +270,8 @@ type family struct {
 // event ring and the online QoS estimator, so one handle wires a whole
 // monitor. The zero value is not usable; construct with NewRegistry. A nil
 // *Registry is valid everywhere and disables telemetry.
+//
+//fdlint:nilsafe
 type Registry struct {
 	mu       sync.RWMutex
 	families []*family // registration order

@@ -85,14 +85,14 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", cfg.Listen, err)
 	}
-	epoch := time.Now()
+	clk := sim.NewRealClock()
 	n := &UDPNetwork{
 		cfg:     cfg,
 		conn:    conn,
 		peers:   peers,
 		byAddr:  byAddr,
-		epoch:   epoch,
-		clk:     sim.NewRealClockAt(epoch),
+		epoch:   clk.Epoch(),
+		clk:     clk,
 		offsets: make(map[neko.ProcessID]time.Duration),
 		pending: make(map[int64]chan clock.Sample),
 		closed:  make(chan struct{}),
@@ -109,6 +109,15 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 // Clock returns the endpoint's run clock; protocol layers on this host must
 // use it so timestamps share the endpoint's epoch.
 func (n *UDPNetwork) Clock() sim.Clock { return n.clk }
+
+// WallTime maps the endpoint clock's current reading to an absolute
+// wall-clock instant — the sanctioned bridge for on-the-wire Unix
+// timestamps and human-readable logs.
+func (n *UDPNetwork) WallTime() time.Time { return n.clk.WallTime() }
+
+// wallNano is WallTime as Unix nanoseconds, the unit the wire format and
+// the NTP-style sync exchange carry.
+func (n *UDPNetwork) wallNano() int64 { return n.clk.WallTime().UnixNano() }
 
 // LocalAddr returns the bound UDP address.
 func (n *UDPNetwork) LocalAddr() *net.UDPAddr {
@@ -292,7 +301,7 @@ func (n *UDPNetwork) handleTimeReq(m *neko.Message) {
 	if err != nil {
 		return
 	}
-	t2 := time.Now().UnixNano()
+	t2 := n.wallNano()
 	resp := &neko.Message{
 		From: n.cfg.LocalID,
 		To:   m.From,
@@ -303,8 +312,8 @@ func (n *UDPNetwork) handleTimeReq(m *neko.Message) {
 	if !ok {
 		return
 	}
-	resp.Payload = encodeTimeSync(timeSyncPayload{T1: req.T1, T2: t2, T3: time.Now().UnixNano()})
-	buf, err := Encode(nil, resp, time.Now().UnixNano())
+	resp.Payload = encodeTimeSync(timeSyncPayload{T1: req.T1, T2: t2, T3: n.wallNano()})
+	buf, err := Encode(nil, resp, n.wallNano())
 	if err != nil {
 		return
 	}
@@ -316,7 +325,7 @@ func (n *UDPNetwork) handleTimeResp(m *neko.Message, _ time.Duration) {
 	if err != nil {
 		return
 	}
-	t4 := time.Now().UnixNano()
+	t4 := n.wallNano()
 	n.mu.Lock()
 	ch, ok := n.pending[m.Seq]
 	if ok {
@@ -364,24 +373,28 @@ func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Dura
 			Type: MsgTimeReq,
 			Seq:  seq,
 			Payload: encodeTimeSync(timeSyncPayload{
-				T1: time.Now().UnixNano(),
+				T1: n.wallNano(),
 			}),
 		}
-		buf, err := Encode(nil, req, time.Now().UnixNano())
+		buf, err := Encode(nil, req, n.wallNano())
 		if err != nil {
 			return 0, err
 		}
 		if _, err := n.conn.WriteToUDP(buf, addr); err != nil {
 			return 0, fmt.Errorf("transport: sync send: %w", err)
 		}
+		timedOut := make(chan struct{})
+		tmr := n.clk.AfterFunc(timeout, func() { close(timedOut) })
 		select {
 		case s := <-ch:
+			tmr.Stop()
 			samples = append(samples, s)
-		case <-time.After(timeout):
+		case <-timedOut:
 			n.mu.Lock()
 			delete(n.pending, seq)
 			n.mu.Unlock()
 		case <-n.closed:
+			tmr.Stop()
 			return 0, fmt.Errorf("transport: endpoint closed during sync")
 		}
 	}

@@ -111,7 +111,6 @@ type MultiMonitor struct {
 	router *layers.Router
 	ctx    *neko.Context
 	opts   options
-	start  time.Time
 	nextID atomic.Int64 // next peer ProcessID; monotonic, never reused
 	shards [peerShards]peerShard
 
@@ -177,7 +176,6 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		net:    net,
 		router: layers.NewRouter(),
 		opts:   o,
-		start:  time.Now(),
 	}
 	mm.router.Instrument(o.telemetry)
 	if reg := o.telemetry; reg != nil {
@@ -435,7 +433,7 @@ func (m *MultiMonitor) Peers() int {
 func (m *MultiMonitor) Snapshot() ClusterSnapshot {
 	st := m.Status()
 	snap := ClusterSnapshot{
-		Uptime:       time.Since(m.start),
+		Uptime:       m.ctx.Clock.Now(),
 		Peers:        len(st),
 		PeerStatuses: st,
 	}

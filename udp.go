@@ -289,7 +289,7 @@ func RunHeartbeater(cfg HeartbeaterConfig) (*Heartbeater, error) {
 	}
 	// Number cycles on the shared wall-clock grid (σ_i = i·η) so a
 	// restarted heartbeater resumes with fresh sequence numbers.
-	if err := hb.SetStartSeq(time.Now().UnixNano() / int64(cfg.Eta)); err != nil {
+	if err := hb.SetStartSeq(net.WallTime().UnixNano() / int64(cfg.Eta)); err != nil {
 		_ = net.Close()
 		return nil, err
 	}

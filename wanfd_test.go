@@ -66,6 +66,29 @@ func TestNewDetectorValidation(t *testing.T) {
 	}
 }
 
+// TestDeprecatedStatsWrapper pins the deprecated tuple Stats to the
+// DetectorStats snapshot it wraps, so the wrapper cannot silently drift
+// while external callers migrate.
+func TestDeprecatedStatsWrapper(t *testing.T) {
+	d, err := NewDetector(DetectorConfig{Predictor: "LAST", Margin: "JAC_med", Eta: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	for i := int64(0); i < 5; i++ {
+		d.Heartbeat(i, time.Now().Add(-2*time.Millisecond))
+	}
+	d.Heartbeat(2, time.Now()) // one stale duplicate
+	hb, stale, susp := d.Stats()
+	s := d.DetectorStats()
+	if hb != s.Heartbeats || stale != s.Stale || susp != s.Suspicions {
+		t.Errorf("Stats() = (%d, %d, %d), DetectorStats() = %+v", hb, stale, susp, s)
+	}
+	if hb != 6 || stale != 1 {
+		t.Errorf("heartbeats = %d (stale %d), want 6 (stale 1)", hb, stale)
+	}
+}
+
 func TestDetectorRealTimeFlow(t *testing.T) {
 	var suspects, trusts atomic.Int64
 	const eta = 100 * time.Millisecond
@@ -99,7 +122,7 @@ func TestDetectorRealTimeFlow(t *testing.T) {
 	if d.Suspected() {
 		t.Error("suspected immediately after a fresh heartbeat")
 	}
-	hb, _, _ := d.Stats()
+	hb := d.DetectorStats().Heartbeats
 	if hb != 9 {
 		t.Errorf("heartbeats = %d, want 9", hb)
 	}
@@ -215,7 +238,7 @@ func TestUDPMonitorHeartbeaterIntegration(t *testing.T) {
 	defer mon.Close()
 
 	time.Sleep(500 * time.Millisecond)
-	hbCount, _, _ := mon.Stats()
+	hbCount := mon.DetectorStats().Heartbeats
 	if hbCount < 5 {
 		t.Errorf("monitor saw %d heartbeats, want several", hbCount)
 	}
@@ -338,7 +361,7 @@ func TestUDPAccrualMonitor(t *testing.T) {
 	defer mon.Close()
 
 	time.Sleep(500 * time.Millisecond)
-	hbs, _, _ := mon.Stats()
+	hbs := mon.DetectorStats().Heartbeats
 	if hbs < 10 {
 		t.Errorf("monitor saw %d heartbeats", hbs)
 	}
@@ -391,9 +414,9 @@ func TestUDPAdaptiveIntervalMonitor(t *testing.T) {
 	deadline := time.Now().Add(25 * time.Second)
 	sped := false
 	for time.Now().Before(deadline) {
-		before, _, _ := mon.Stats()
+		before := mon.DetectorStats().Heartbeats
 		time.Sleep(time.Second)
-		after, _, _ := mon.Stats()
+		after := mon.DetectorStats().Heartbeats
 		if after-before >= 3 {
 			sped = true
 			break
