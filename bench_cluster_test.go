@@ -8,6 +8,7 @@ package wanfd
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -168,10 +169,10 @@ func (c *singleMapCluster) close() {
 
 // benchPeerNames precomputes the member names so the hot loop does no
 // formatting.
-func benchPeerNames() []string {
-	names := make([]string, benchClusterPeers)
+func benchPeerNames(n int) []string {
+	names := make([]string, n)
 	for i := range names {
-		names[i] = fmt.Sprintf("peer-%04d", i)
+		names[i] = fmt.Sprintf("peer-%05d", i)
 	}
 	return names
 }
@@ -183,7 +184,7 @@ func benchPeerNames() []string {
 // coarse lock, every dispatch issued during a join/leave critical section
 // stalls until it completes; with 16 shards only the flapper's own shard
 // does, so the measured dispatch latency stays flat.
-func runReceiveBench(b *testing.B, h clusterHarness, flapping bool) {
+func runReceiveBench(b *testing.B, h clusterHarness, peers int, flapping bool) {
 	b.Helper()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -213,12 +214,12 @@ func runReceiveBench(b *testing.B, h clusterHarness, flapping bool) {
 		}()
 	}
 	base := multiMonitorID + 1
-	seqs := make([]int64, benchClusterPeers)
+	seqs := make([]int64, peers)
 	msg := &neko.Message{Type: neko.MsgHeartbeat}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := i % benchClusterPeers
+		p := i % peers
 		seqs[p]++
 		msg.From = base + neko.ProcessID(p)
 		msg.Seq = seqs[p]
@@ -226,6 +227,9 @@ func runReceiveBench(b *testing.B, h clusterHarness, flapping bool) {
 		h.inject(msg)
 	}
 	b.StopTimer()
+	// Sampled before teardown, with every member's deadline still armed:
+	// the steady-state scheduling footprint.
+	b.ReportMetric(float64(runtime.NumGoroutine()), "goroutines")
 	close(stop)
 	wg.Wait()
 	if flapping && b.N > 0 {
@@ -237,7 +241,7 @@ func runReceiveBench(b *testing.B, h clusterHarness, flapping bool) {
 // single-map baseline at 1024 peers, with a static membership and with a
 // member continuously joining and leaving.
 func BenchmarkCluster1k(b *testing.B) {
-	names := benchPeerNames()
+	names := benchPeerNames(benchClusterPeers)
 	for _, sc := range []struct {
 		name     string
 		flapping bool
@@ -258,7 +262,7 @@ func BenchmarkCluster1k(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			runReceiveBench(b, h, sc.flapping)
+			runReceiveBench(b, h, benchClusterPeers, sc.flapping)
 		})
 		// Same sharded stack with live telemetry: every dispatch counts
 		// packets, shard traffic, heartbeats, and observes two histograms.
@@ -277,7 +281,24 @@ func BenchmarkCluster1k(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			runReceiveBench(b, h, sc.flapping)
+			runReceiveBench(b, h, benchClusterPeers, sc.flapping)
+		})
+		// Same sharded stack with the timing wheel disabled: detectors fall
+		// back to stop-and-recreate time.AfterFunc deadlines, the scheduler
+		// the wheel replaced. Kept as the A/B baseline for BENCH_sched.json.
+		b.Run(sc.name+"/sharded-afterfunc", func(b *testing.B) {
+			mm, err := NewMultiMonitor("127.0.0.1:0", WithTimerWheel(false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := shardedHarness{mm: mm}
+			defer h.close()
+			for i, name := range names {
+				if err := mm.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 20001+i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runReceiveBench(b, h, benchClusterPeers, sc.flapping)
 		})
 		b.Run(sc.name+"/single-map", func(b *testing.B) {
 			c := newSingleMapCluster(resolveOptions(nil))
@@ -287,7 +308,52 @@ func BenchmarkCluster1k(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			runReceiveBench(b, c, sc.flapping)
+			runReceiveBench(b, c, benchClusterPeers, sc.flapping)
+		})
+	}
+}
+
+// benchCluster10kPeers sizes the timer-pressure benchmark: an order of
+// magnitude past BenchmarkCluster1k, where deadline scheduling rather
+// than shard-map contention dominates the dispatch cost.
+const benchCluster10kPeers = 10240
+
+// BenchmarkCluster10k measures timer pressure: every dispatched heartbeat
+// re-arms the sender's deadline, so at 10240 peers the scheduler is the
+// hot path. The default build re-arms in place on the 16 shard timing
+// wheels (O(1) unlink/relink, no allocation, at most one lazy driver
+// goroutine per shard); the WithTimerWheel(false) baseline is the
+// stop-and-recreate time.AfterFunc path the detectors used before the
+// wheels existed, paying a runtime-timer allocation and heap reshuffle
+// per heartbeat. The goroutines metric is sampled at steady state, with
+// every peer's deadline armed.
+func BenchmarkCluster10k(b *testing.B) {
+	names := benchPeerNames(benchCluster10kPeers)
+	for _, sc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"wheel", nil},
+		{"afterfunc", []Option{WithTimerWheel(false)}},
+	} {
+		sc := sc
+		b.Run(sc.name, func(b *testing.B) {
+			mm, err := NewMultiMonitor("127.0.0.1:0", sc.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := shardedHarness{mm: mm}
+			defer h.close()
+			for i, name := range names {
+				if err := mm.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 20001+i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runReceiveBench(b, h, benchCluster10kPeers, false)
+			if sc.opts == nil {
+				st := mm.SchedulerStats()
+				b.ReportMetric(float64(st.Timers), "timers")
+			}
 		})
 	}
 }

@@ -2,9 +2,12 @@ package wanfd
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
+
+	"wanfd/internal/neko"
 )
 
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
@@ -166,6 +169,73 @@ func TestMultiMonitorReaddFreshDetector(t *testing.T) {
 		return err == nil && s.Heartbeats >= 5 && !s.Suspected
 	}) {
 		t.Fatal("re-added peer not monitored afresh")
+	}
+}
+
+// TestMultiMonitorChurnTimerLeak is the scheduler-leak regression: after
+// add/heartbeat/remove cycles no deadline may stay queued on the shard
+// timing wheels (RemovePeer's detector Stop must unlink synchronously) and
+// every lazy wheel driver must exit once its shard empties, returning the
+// process to its pre-churn goroutine count.
+func TestMultiMonitorChurnTimerLeak(t *testing.T) {
+	addrs := freeUDPPorts(t, 1)
+	// A long eta keeps the armed deadlines comfortably in the future, so
+	// the mid-cycle queue-depth assertion races with nothing.
+	mon, err := NewMultiMonitor(addrs[0], WithEta(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if st := mon.SchedulerStats(); st.Wheels != peerShards || st.Timers != 0 {
+		t.Fatalf("fresh monitor scheduler stats %+v, want %d idle wheels", st, peerShards)
+	}
+	baseline := runtime.NumGoroutine()
+
+	const (
+		cycles = 3
+		peers  = 64
+	)
+	for c := 0; c < cycles; c++ {
+		names := make([]string, peers)
+		for i := range names {
+			names[i] = fmt.Sprintf("churn-%d-%d", c, i)
+			if err := mon.AddPeer(names[i], fmt.Sprintf("127.0.0.1:%d", 30001+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// One heartbeat per peer arms its detector deadline on the shard
+		// wheel. Process ids are assigned sequentially from the monitor's
+		// own id, in AddPeer order (same convention the cluster benchmark
+		// relies on).
+		now := mon.ctx.Clock.Now()
+		for i := range names {
+			mon.router.Receive(&neko.Message{
+				Type:   neko.MsgHeartbeat,
+				From:   multiMonitorID + 1 + neko.ProcessID(c*peers+i),
+				Seq:    1,
+				SentAt: now,
+			})
+		}
+		if st := mon.SchedulerStats(); st.Timers != peers {
+			t.Fatalf("cycle %d: %d deadlines queued after heartbeats, want %d", c, st.Timers, peers)
+		}
+		for _, name := range names {
+			if err := mon.RemovePeer(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := mon.SchedulerStats(); st.Timers != 0 {
+			t.Fatalf("cycle %d: %d deadlines leaked after removal", c, st.Timers)
+		}
+	}
+
+	// The shard drivers park-then-exit asynchronously after their last
+	// timer is stopped; wait for the goroutine count to drain back.
+	if !waitFor(t, 5*time.Second, func() bool {
+		return runtime.NumGoroutine() <= baseline
+	}) {
+		t.Errorf("goroutines leaked after churn: %d, baseline %d",
+			runtime.NumGoroutine(), baseline)
 	}
 }
 

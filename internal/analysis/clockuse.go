@@ -20,10 +20,13 @@ var ClockUse = &Analyzer{
 
 // clockExemptSuffixes are the import-path suffixes of the clock boundary:
 // internal/sim implements the real and simulated clocks, internal/clock
-// the NTP-style offset estimation they are corrected with.
+// the NTP-style offset estimation they are corrected with, and
+// internal/sched is the timing-wheel scheduler, itself a sim.Clock (its
+// real-mode driver parks on raw runtime timers).
 var clockExemptSuffixes = []string{
 	"internal/sim",
 	"internal/clock",
+	"internal/sched",
 }
 
 // forbiddenTimeFuncs are the wall-clock readers of package time. Timers

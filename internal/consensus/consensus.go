@@ -38,7 +38,7 @@ import (
 
 	"wanfd/internal/core"
 	"wanfd/internal/neko"
-	"wanfd/internal/sim"
+	"wanfd/internal/sched"
 )
 
 // Message types of the consensus protocol.
@@ -130,7 +130,7 @@ type Participant struct {
 	n        int
 	majority int
 	ctx      *neko.Context
-	timer    sim.Timer
+	timer    sched.Rearmable // nil once stopped
 
 	round    int64
 	est      Value
@@ -210,8 +210,9 @@ var _ neko.Layer = (*Participant)(nil)
 // in the single-threaded simulator).
 func (p *Participant) Init(ctx *neko.Context) error {
 	p.ctx = ctx
+	p.timer = sched.NewTimer(ctx.Clock, p.step)
 	if p.cfg.StartDelay > 0 {
-		p.timer = ctx.Clock.AfterFunc(p.cfg.StartDelay, p.step)
+		p.timer.Reschedule(p.cfg.StartDelay)
 		return nil
 	}
 	p.step()
@@ -250,10 +251,10 @@ func (p *Participant) step() {
 		p.advance()
 	}
 	p.maybeResend()
-	if p.stopped {
+	if p.stopped || p.timer == nil {
 		return
 	}
-	p.timer = p.ctx.Clock.AfterFunc(p.cfg.PollInterval, p.step)
+	p.timer.Reschedule(p.cfg.PollInterval)
 }
 
 // maybeResend retransmits the current-phase messages on a slow cadence:

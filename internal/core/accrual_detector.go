@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"wanfd/internal/sched"
 	"wanfd/internal/sim"
 )
 
@@ -48,7 +49,7 @@ type AccrualDetector struct {
 	hi          int64
 	suspected   bool
 	stopped     bool
-	timer       sim.Timer
+	timer       sched.Rearmable
 	crossing    time.Duration
 	heartbeats  uint64
 	stale       uint64
@@ -93,14 +94,18 @@ func NewAccrualDetector(cfg AccrualDetectorConfig) (*AccrualDetector, error) {
 	if name == "" {
 		name = fmt.Sprintf("ACCRUAL_%g", cfg.Threshold)
 	}
-	return &AccrualDetector{
+	d := &AccrualDetector{
 		name:      name,
 		threshold: cfg.Threshold,
 		clock:     cfg.Clock,
 		listener:  cfg.Listener,
 		a:         a,
 		hi:        -1,
-	}, nil
+	}
+	// One rearmable timer for the detector's lifetime, re-armed in place
+	// at each new crossing instant (O(1) on a timing-wheel clock).
+	d.timer = sched.NewTimer(cfg.Clock, d.expire)
+	return d, nil
 }
 
 // Name returns the detector's identifier.
@@ -130,15 +135,13 @@ func (d *AccrualDetector) OnHeartbeat(seq int64, _ time.Duration, now time.Durat
 			d.listener.OnTrust(d.name, now)
 		}
 	}
-	if d.timer != nil {
-		d.timer.Stop()
-	}
 	wait, ok := d.crossingDelay()
 	if !ok {
+		d.timer.Stop()
 		return // not enough history yet: never suspect on a cold window
 	}
 	d.crossing = now + wait
-	d.timer = d.clock.AfterFunc(wait+timerSlack, d.expire)
+	d.timer.Reschedule(wait + timerSlack)
 }
 
 // crossingDelay returns how long after the last arrival φ reaches the
@@ -191,10 +194,7 @@ func (d *AccrualDetector) Stop() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stopped = true
-	if d.timer != nil {
-		d.timer.Stop()
-		d.timer = nil
-	}
+	d.timer.Stop()
 }
 
 // DetectorStats returns a snapshot of the lifetime counters.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"wanfd/internal/sched"
 	"wanfd/internal/sim"
 	"wanfd/internal/telemetry"
 )
@@ -96,7 +97,7 @@ type Detector struct {
 	mu        sync.Mutex
 	hi        int64 // highest sequence received; -1 before the first
 	deadline  time.Duration
-	timer     sim.Timer
+	timer     sched.Rearmable
 	suspected bool
 	stopped   bool
 
@@ -107,8 +108,10 @@ type Detector struct {
 
 // timerSlack delays the freshness-expiry check by one instant past τ, so a
 // heartbeat arriving exactly at the freshness point counts as fresh (§2.3:
-// p suspects if no fresh message was received *by* τ).
-const timerSlack = time.Nanosecond
+// p suspects if no fresh message was received *by* τ). The canonical
+// definition (and the full rationale) lives in the shared scheduler
+// package; this alias keeps the detectors on the single source of truth.
+const timerSlack = sched.TimerSlack
 
 // NewDetector validates cfg and builds a detector. Before the first
 // heartbeat the detector does not suspect (it has no information yet — the
@@ -130,7 +133,7 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 	if cfg.MinTimeout < 0 {
 		return nil, fmt.Errorf("core: detector %q needs a non-negative MinTimeout, got %v", name, cfg.MinTimeout)
 	}
-	return &Detector{
+	d := &Detector{
 		name:       name,
 		pred:       cfg.Predictor,
 		margin:     cfg.Margin,
@@ -140,7 +143,12 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 		listener:   cfg.Listener,
 		metrics:    cfg.Metrics,
 		hi:         -1,
-	}, nil
+	}
+	// One rearmable timer for the detector's lifetime: on a timing-wheel
+	// clock each freshness point is an O(1) in-place re-arm instead of a
+	// stop-and-recreate AfterFunc per heartbeat.
+	d.timer = sched.NewTimer(cfg.Clock, d.expire)
+	return d, nil
 }
 
 // Name returns the detector's identifier.
@@ -198,9 +206,6 @@ func (d *Detector) OnHeartbeat(seq int64, sendTime, now time.Duration) {
 	}
 	deadline := sendTime + d.eta + msToDur(timeoutMs)
 	d.deadline = deadline
-	if d.timer != nil {
-		d.timer.Stop()
-	}
 	if deadline > now {
 		if d.suspected {
 			d.suspected = false
@@ -213,11 +218,12 @@ func (d *Detector) OnHeartbeat(seq int64, sendTime, now time.Duration) {
 		// the expiry check runs an instant after τ — otherwise, in the
 		// simulator's FIFO event order, a deadline tied with an arrival
 		// would suspect first.
-		d.timer = d.clock.AfterFunc(deadline-now+timerSlack, d.expire)
+		d.timer.Reschedule(deadline - now + timerSlack)
 		return
 	}
 	// Even the next expected heartbeat is already overdue: suspicion
 	// stands (or starts) without an intervening trust.
+	d.timer.Stop()
 	if !d.suspected {
 		d.suspected = true
 		d.suspicions++
@@ -296,10 +302,7 @@ func (d *Detector) Stop() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stopped = true
-	if d.timer != nil {
-		d.timer.Stop()
-		d.timer = nil
-	}
+	d.timer.Stop()
 	if m := d.metrics; m != nil {
 		// Push the tail of the batched observations so a removed peer's
 		// last few heartbeats still reach the shared histograms.

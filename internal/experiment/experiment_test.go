@@ -75,6 +75,46 @@ func TestQoSConfigValidation(t *testing.T) {
 	if _, err := RunQoS(QoSConfig{NumCycles: 10, Warmup: time.Hour}); err == nil {
 		t.Error("warmup longer than run should be rejected")
 	}
+	if _, err := RunQoS(QoSConfig{SchedulerTick: -time.Millisecond}); err == nil {
+		t.Error("negative scheduler tick should be rejected")
+	}
+}
+
+// TestRunQoSSchedulerTick runs the same experiment on the exact
+// event-heap scheduler and on the timing wheel (SchedulerTick = 1 ms,
+// the real monitor's granularity). The wheel quantizes each freshness
+// point up to the next tick, so detection may only be *later*, by less
+// than one tick per crash — against η = 1 s the QoS results must agree
+// to within the slot granularity.
+func TestRunQoSSchedulerTick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run QoS experiment")
+	}
+	combos := []core.Combo{{Predictor: "LAST", Margin: "JAC_med"}}
+	run := func(tick time.Duration) nekostat.QoS {
+		res, err := RunQoS(QoSConfig{
+			Runs: 1, NumCycles: 1500, MTTC: 150 * time.Second, TTR: 15 * time.Second,
+			Seed: 5, Combos: combos, SchedulerTick: tick,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ByDetector["LAST+JAC_med"]
+	}
+	exact, wheel := run(0), run(time.Millisecond)
+	if exact.Crashes != wheel.Crashes || exact.Detected != wheel.Detected {
+		t.Fatalf("crash accounting diverged: exact %d/%d, wheel %d/%d",
+			exact.Detected, exact.Crashes, wheel.Detected, wheel.Crashes)
+	}
+	// T_D means are in milliseconds; quantization adds at most one tick
+	// (1 ms) per detection and never subtracts.
+	if d := wheel.TD.Mean - exact.TD.Mean; d < 0 || d > 1 {
+		t.Errorf("T_D mean shifted by %.3f ms, want within [0, 1] tick", d)
+	}
+	if d := wheel.PA - exact.PA; d < -0.001 || d > 0.001 {
+		t.Errorf("P_A shifted by %.5f, want within ±0.001 (exact %.5f, wheel %.5f)",
+			d, exact.PA, wheel.PA)
+	}
 }
 
 func TestQoSParamsTableDefaults(t *testing.T) {

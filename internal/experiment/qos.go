@@ -10,6 +10,7 @@ import (
 	"wanfd/internal/layers"
 	"wanfd/internal/neko"
 	"wanfd/internal/nekostat"
+	"wanfd/internal/sched"
 	"wanfd/internal/sim"
 	"wanfd/internal/stats"
 	"wanfd/internal/wan"
@@ -62,6 +63,14 @@ type QoSConfig struct {
 	// by this amount. Positive skew tightens timeouts (more mistakes);
 	// negative skew inflates them (slower detection).
 	ClockSkew time.Duration
+	// SchedulerTick, when positive, runs the detectors' freshness timers
+	// on a sched.Wheel of that granularity layered over the virtual
+	// engine — the exact scheduler code the real cluster monitor uses, so
+	// simulated and production executions share the wheel path. Expiries
+	// are then quantized to tick boundaries (each deadline inflated by
+	// strictly less than one tick). Zero keeps the engine's exact heap
+	// scheduling.
+	SchedulerTick time.Duration
 
 	// customDetectors, when non-nil, supplies additional detectors per
 	// run (used by the margin-sweep experiment to evaluate arbitrary
@@ -110,6 +119,9 @@ func (c *QoSConfig) validate() error {
 	}
 	if c.Eta < 0 || c.MTTC < 0 || c.TTR < 0 || c.Warmup < 0 {
 		return fmt.Errorf("experiment: negative durations in config")
+	}
+	if c.SchedulerTick < 0 {
+		return fmt.Errorf("experiment: negative SchedulerTick %v", c.SchedulerTick)
 	}
 	window := time.Duration(c.NumCycles) * c.Eta
 	if window <= c.Warmup {
@@ -260,7 +272,14 @@ func runOnce(cfg QoSConfig, seed int64, channelStats *stats.Running) (map[string
 		return nil, nil, err
 	}
 
-	monitors, err := buildMonitors(cfg, eng, collector)
+	// With SchedulerTick set, detector deadlines run on a timing wheel
+	// whose wakeups are engine events — the same wheel the real cluster
+	// monitor drives from the wall clock.
+	detClock := sim.Clock(eng)
+	if cfg.SchedulerTick > 0 {
+		detClock = sched.NewWheel(sched.Config{Clock: eng, Tick: cfg.SchedulerTick})
+	}
+	monitors, err := buildMonitors(cfg, detClock, collector)
 	if err != nil {
 		return nil, nil, err
 	}

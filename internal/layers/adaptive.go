@@ -7,7 +7,7 @@ import (
 
 	"wanfd/internal/core"
 	"wanfd/internal/neko"
-	"wanfd/internal/sim"
+	"wanfd/internal/sched"
 )
 
 // MsgSetInterval is the control message of the adaptable-sending-period
@@ -30,13 +30,15 @@ func (h *Heartbeater) SetInterval(eta time.Duration) error {
 	if h.ctx == nil {
 		return nil
 	}
-	// Restart the grid with the first slot one new period from now.
-	if h.timer != nil {
-		h.timer.Stop()
+	// Restart the grid with the first slot one new period from now. A
+	// stopped heartbeater (nil timer) is restarted, as before the
+	// rearmable-timer migration.
+	if h.timer == nil {
+		h.timer = sched.NewTimer(h.ctx.Clock, h.tick)
 	}
 	h.epoch = h.ctx.Clock.Now() + eta
 	h.cycle = 0
-	h.timer = h.ctx.Clock.AfterFunc(eta, h.tick)
+	h.timer.Reschedule(eta)
 	return nil
 }
 
@@ -78,7 +80,7 @@ type IntervalController struct {
 
 	mu       sync.Mutex
 	ctx      *neko.Context
-	timer    sim.Timer
+	timer    sched.Rearmable // nil once stopped
 	last     time.Duration
 	commands uint64
 }
@@ -139,7 +141,8 @@ func (c *IntervalController) Init(ctx *neko.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ctx = ctx
-	c.timer = ctx.Clock.AfterFunc(c.period, c.evaluate)
+	c.timer = sched.NewTimer(ctx.Clock, c.evaluate)
+	c.timer.Reschedule(c.period)
 	return nil
 }
 
@@ -185,7 +188,7 @@ func (c *IntervalController) evaluate() {
 		c.last = eta
 		c.commands++
 	}
-	c.timer = c.ctx.Clock.AfterFunc(c.period, c.evaluate)
+	c.timer.Reschedule(c.period)
 	c.mu.Unlock()
 
 	if msg != nil {

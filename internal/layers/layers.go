@@ -20,7 +20,7 @@ import (
 
 	"wanfd/internal/core"
 	"wanfd/internal/neko"
-	"wanfd/internal/sim"
+	"wanfd/internal/sched"
 )
 
 // Heartbeater periodically sends heartbeat messages to a monitor process —
@@ -33,9 +33,9 @@ type Heartbeater struct {
 	mu    sync.Mutex
 	ctx   *neko.Context
 	epoch time.Duration
-	seq   int64 // next sequence number to send
-	cycle int64 // cycles completed since Init (drives the send grid)
-	timer sim.Timer
+	seq   int64           // next sequence number to send
+	cycle int64           // cycles completed since Init (drives the send grid)
+	timer sched.Rearmable // nil once stopped
 
 	sent atomic.Uint64
 }
@@ -76,7 +76,8 @@ func (h *Heartbeater) Init(ctx *neko.Context) error {
 	defer h.mu.Unlock()
 	h.ctx = ctx
 	h.epoch = ctx.Clock.Now()
-	h.timer = ctx.Clock.AfterFunc(0, h.tick)
+	h.timer = sched.NewTimer(ctx.Clock, h.tick)
+	h.timer.Reschedule(0)
 	return nil
 }
 
@@ -108,7 +109,7 @@ func (h *Heartbeater) tick() {
 	if d < 0 {
 		d = 0
 	}
-	h.timer = h.ctx.Clock.AfterFunc(d, h.tick)
+	h.timer.Reschedule(d)
 	h.mu.Unlock()
 
 	h.Send(msg)
@@ -154,7 +155,7 @@ type SimCrash struct {
 	rng      *rand.Rand
 	ctx      *neko.Context
 	crashed  bool
-	timer    sim.Timer
+	timer    sched.Rearmable // nil once stopped
 	disabled bool
 
 	crashes atomic.Uint64
@@ -183,7 +184,8 @@ func (s *SimCrash) Init(ctx *neko.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ctx = ctx
-	s.timer = ctx.Clock.AfterFunc(s.timeToCrashLocked(), s.crash)
+	s.timer = sched.NewTimer(ctx.Clock, s.fire)
+	s.timer.Reschedule(s.timeToCrashLocked())
 	return nil
 }
 
@@ -194,35 +196,32 @@ func (s *SimCrash) timeToCrashLocked() time.Duration {
 	return time.Duration(half + s.rng.Float64()*2*half)
 }
 
-func (s *SimCrash) crash() {
+// fire toggles between the good and crash periods on a single rearmable
+// timer: crash → restore after TTR, restore → next crash after a fresh
+// uniform draw.
+func (s *SimCrash) fire() {
 	s.mu.Lock()
-	if s.disabled {
+	if s.disabled || s.timer == nil {
 		s.mu.Unlock()
 		return
 	}
-	s.crashed = true
-	s.crashes.Add(1)
 	now := s.ctx.Clock.Now()
-	s.timer = s.ctx.Clock.AfterFunc(s.ttr, s.restore)
+	crashed := !s.crashed
+	s.crashed = crashed
+	if crashed {
+		s.crashes.Add(1)
+		s.timer.Reschedule(s.ttr)
+	} else {
+		s.timer.Reschedule(s.timeToCrashLocked())
+	}
 	l := s.l
 	s.mu.Unlock()
-	if l != nil {
+	if l == nil {
+		return
+	}
+	if crashed {
 		l.OnCrash(now)
-	}
-}
-
-func (s *SimCrash) restore() {
-	s.mu.Lock()
-	if s.disabled {
-		s.mu.Unlock()
-		return
-	}
-	s.crashed = false
-	now := s.ctx.Clock.Now()
-	s.timer = s.ctx.Clock.AfterFunc(s.timeToCrashLocked(), s.crash)
-	l := s.l
-	s.mu.Unlock()
-	if l != nil {
+	} else {
 		l.OnRestore(now)
 	}
 }

@@ -8,7 +8,7 @@ import (
 
 	"wanfd/internal/core"
 	"wanfd/internal/neko"
-	"wanfd/internal/sim"
+	"wanfd/internal/sched"
 )
 
 // Message types of the pull-style protocol (§2.2 of the paper): the
@@ -74,7 +74,7 @@ type Puller struct {
 	ctx   *neko.Context
 	epoch time.Duration
 	seq   int64
-	timer sim.Timer
+	timer sched.Rearmable // nil once stopped
 
 	pings atomic.Uint64
 }
@@ -99,7 +99,8 @@ func (p *Puller) Init(ctx *neko.Context) error {
 	defer p.mu.Unlock()
 	p.ctx = ctx
 	p.epoch = ctx.Clock.Now()
-	p.timer = ctx.Clock.AfterFunc(0, p.tick)
+	p.timer = sched.NewTimer(ctx.Clock, p.tick)
+	p.timer.Reschedule(0)
 	return nil
 }
 
@@ -123,7 +124,7 @@ func (p *Puller) tick() {
 	if d < 0 {
 		d = 0
 	}
-	p.timer = p.ctx.Clock.AfterFunc(d, p.tick)
+	p.timer.Reschedule(d)
 	p.mu.Unlock()
 
 	p.Send(msg)

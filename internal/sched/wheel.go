@@ -1,0 +1,608 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wanfd/internal/sim"
+)
+
+// Wheel geometry. The fine level resolves one tick per slot across a
+// 256-tick window; the coarse level holds one 256-tick span per slot
+// across a further 64 spans. With the default 1 ms tick that is 256 ms of
+// exact resolution and ~16.4 s of coarse horizon — comfortably past the
+// paper's WAN timeouts (η = 1 s, δ up to ~10 s). Deadlines beyond the
+// horizon wait on the overflow list and are re-examined at each fine-wheel
+// wrap.
+const (
+	fineBits    = 8
+	fineSlots   = 1 << fineBits
+	fineMask    = fineSlots - 1
+	coarseBits  = 6
+	coarseSlots = 1 << coarseBits
+	coarseMask  = coarseSlots - 1
+	// wheelSpan is the total in-wheel horizon in ticks.
+	wheelSpan = fineSlots << coarseBits
+)
+
+// DefaultTick is the slot granularity used when Config.Tick is zero. One
+// millisecond keeps the worst-case deadline inflation (< one tick, see
+// DESIGN.md) three orders of magnitude under the paper's η = 1 s
+// heartbeat period.
+const DefaultTick = time.Millisecond
+
+// Config parameterizes a Wheel.
+type Config struct {
+	// Clock is the time source the wheel runs over. A *sim.RealClock gets
+	// a dedicated driver goroutine; any other sim.Clock (notably
+	// *sim.Engine) drives the wheel through that clock's own AfterFunc
+	// events, keeping virtual executions deterministic.
+	Clock sim.Clock
+	// Tick is the slot granularity; DefaultTick when zero.
+	Tick time.Duration
+	// OnBatch, if set, observes each non-empty expiry batch: the number
+	// of timers fired together and the lag between the earliest deadline
+	// in the batch and the moment the batch was collected.
+	OnBatch func(fired int, lag time.Duration)
+}
+
+// Stats is a point-in-time snapshot of a wheel's counters.
+type Stats struct {
+	// Scheduled is the number of timers currently queued.
+	Scheduled int
+	// Fired counts timers expired over the wheel's lifetime.
+	Fired uint64
+	// Batches counts non-empty expiry batches; Fired/Batches is the mean
+	// batch size.
+	Batches uint64
+	// Cascades counts timers migrated coarse→fine or overflow→wheel.
+	Cascades uint64
+	// MaxSlotOccupancy is the high-water mark of timers sharing one slot.
+	MaxSlotOccupancy int
+}
+
+// firing is one drained timer plus the generation and deadline captured
+// under the wheel lock, so the fire loop can detect a concurrent
+// Stop/Reschedule without touching timer fields unlocked.
+type firing struct {
+	t   *Timer
+	gen uint64
+	at  time.Duration
+}
+
+// Wheel is a two-level hierarchical timing wheel implementing sim.Clock
+// and DeadlineClock. All mutable state is guarded by mu; callbacks always
+// run with mu released.
+type Wheel struct {
+	clk     sim.Clock
+	tick    time.Duration
+	onBatch func(int, time.Duration)
+	real    bool
+
+	mu        sync.Mutex
+	cur       int64 // last processed tick
+	fine      [fineSlots]timerList
+	coarse    [coarseSlots]timerList
+	overflow  timerList
+	due       timerList // non-positive delays: fire at next wakeup
+	scheduled int
+	fired     uint64
+	batches   uint64
+	cascades  uint64
+	maxSlot   int
+	closed    bool
+
+	// Real-clock mode: a lazy driver goroutine, parked on a time.Timer,
+	// kicked through notify when an earlier deadline arrives.
+	driving   bool
+	sleepTick int64
+	notify    chan struct{}
+
+	// Virtual mode: a single pending wakeup event on the host clock.
+	wake     sim.Timer
+	wakeTick int64
+}
+
+var (
+	_ sim.Clock     = (*Wheel)(nil)
+	_ DeadlineClock = (*Wheel)(nil)
+)
+
+// NewWheel builds a wheel over cfg.Clock, aligned so tick 0 is the host
+// clock's current instant.
+func NewWheel(cfg Config) *Wheel {
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	w := &Wheel{
+		clk:     cfg.Clock,
+		tick:    tick,
+		onBatch: cfg.OnBatch,
+		notify:  make(chan struct{}, 1),
+	}
+	_, w.real = cfg.Clock.(*sim.RealClock)
+	w.cur = w.tickFloor(w.clk.Now())
+	w.sleepTick = math.MaxInt64
+	return w
+}
+
+// Now reports the host clock's time, so wheel consumers and non-wheel
+// code observe the same instants.
+func (w *Wheel) Now() time.Duration { return w.clk.Now() }
+
+// Tick reports the wheel's slot granularity.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// NewTimer returns an unscheduled rearmable timer firing fn.
+func (w *Wheel) NewTimer(fn func()) Rearmable {
+	return &Timer{w: w, fn: fn}
+}
+
+// AfterFunc schedules fn to run once after d, satisfying sim.Clock.
+func (w *Wheel) AfterFunc(d time.Duration, fn func()) sim.Timer {
+	t := &Timer{w: w, fn: fn}
+	t.Reschedule(d)
+	return t
+}
+
+// Stats snapshots the wheel's counters.
+func (w *Wheel) Stats() Stats {
+	w.mu.Lock()
+	s := Stats{
+		Scheduled:        w.scheduled,
+		Fired:            w.fired,
+		Batches:          w.batches,
+		Cascades:         w.cascades,
+		MaxSlotOccupancy: w.maxSlot,
+	}
+	w.mu.Unlock()
+	return s
+}
+
+// Close cancels every queued timer and stops the driver. Timers already
+// collected into a fire batch may still run once. The wheel accepts no
+// new work afterwards.
+func (w *Wheel) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	for l := []*timerList{&w.due, &w.overflow}; len(l) > 0; l = l[1:] {
+		for l[0].head != nil {
+			t := l[0].head
+			t.gen.Add(1)
+			l[0].remove(t)
+		}
+	}
+	for i := range w.fine {
+		for w.fine[i].head != nil {
+			t := w.fine[i].head
+			t.gen.Add(1)
+			w.fine[i].remove(t)
+		}
+	}
+	for i := range w.coarse {
+		for w.coarse[i].head != nil {
+			t := w.coarse[i].head
+			t.gen.Add(1)
+			w.coarse[i].remove(t)
+		}
+	}
+	w.scheduled = 0
+	if w.wake != nil {
+		w.wake.Stop()
+		w.wake = nil
+	}
+	kick := w.driving
+	w.mu.Unlock()
+	if kick {
+		select {
+		case w.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// tickFloor maps an instant to the last tick boundary at or before it.
+func (w *Wheel) tickFloor(at time.Duration) int64 {
+	if at < 0 {
+		return 0
+	}
+	return int64(at / w.tick)
+}
+
+// tickCeil maps a deadline to the first tick boundary at or after it, so
+// a timer never fires early: the wheel inflates a deadline by strictly
+// less than one tick.
+func (w *Wheel) tickCeil(at time.Duration) int64 {
+	if at <= 0 {
+		return 0
+	}
+	return int64((at + w.tick - 1) / w.tick)
+}
+
+// placeLocked links an unqueued timer into the level its deadline tick
+// falls in: due (already expired), fine (within 256 ticks), coarse
+// (within the wheel span), or overflow.
+func (w *Wheel) placeLocked(t *Timer) {
+	var l *timerList
+	switch delta := t.tk - w.cur; {
+	case delta <= 0:
+		l = &w.due
+	case delta <= fineSlots:
+		l = &w.fine[t.tk&fineMask]
+	case delta <= wheelSpan:
+		l = &w.coarse[(t.tk>>fineBits)&coarseMask]
+	default:
+		l = &w.overflow
+	}
+	l.push(t)
+	if l != &w.overflow && l != &w.due && l.n > w.maxSlot {
+		w.maxSlot = l.n
+	}
+}
+
+// cascadeLocked runs at each fine-wheel wrap: the coarse slot whose span
+// just entered the fine window is flushed down, and overflow timers now
+// within the wheel span are admitted.
+func (w *Wheel) cascadeLocked() {
+	slot := &w.coarse[(w.cur>>fineBits)&coarseMask]
+	for slot.head != nil {
+		t := slot.head
+		slot.remove(t)
+		w.placeLocked(t)
+		w.cascades++
+	}
+	for t := w.overflow.head; t != nil; {
+		next := t.next
+		if t.tk-w.cur <= wheelSpan {
+			w.overflow.remove(t)
+			w.placeLocked(t)
+			w.cascades++
+		}
+		t = next
+	}
+}
+
+// drainLocked moves every timer on l into the batch, capturing generation
+// and deadline under the lock.
+func (w *Wheel) drainLocked(l *timerList, batch []firing) []firing {
+	for l.head != nil {
+		t := l.head
+		l.remove(t)
+		w.scheduled--
+		w.fired++
+		batch = append(batch, firing{t: t, gen: t.gen.Load(), at: t.at})
+	}
+	return batch
+}
+
+// advanceLocked processes every tick up to target, cascading at wraps,
+// and collects expired timers in slot order (insertion order within a
+// slot, so same-deadline timers fire in schedule order, matching the
+// engine's FIFO tie-break).
+func (w *Wheel) advanceLocked(target int64, batch []firing) []firing {
+	batch = w.drainLocked(&w.due, batch)
+	for w.cur < target {
+		w.cur++
+		if w.cur&fineMask == 0 {
+			w.cascadeLocked()
+			batch = w.drainLocked(&w.due, batch)
+		}
+		batch = w.drainLocked(&w.fine[w.cur&fineMask], batch)
+	}
+	return batch
+}
+
+// nextWakeLocked reports the next tick the wheel must be driven at, or
+// false when nothing is queued. Fine-window deadlines are exact (each
+// fine slot holds a single deadline tick at a time); anything deeper only
+// needs a wakeup at the next wrap boundary, where cascading re-sorts it.
+func (w *Wheel) nextWakeLocked() (int64, bool) {
+	if w.scheduled == 0 {
+		return 0, false
+	}
+	if w.due.n > 0 {
+		return w.cur, true
+	}
+	best := int64(-1)
+	for k := int64(1); k <= fineSlots; k++ {
+		if w.fine[(w.cur+k)&fineMask].n > 0 {
+			best = w.cur + k
+			break
+		}
+	}
+	deeper := w.overflow.n > 0
+	if !deeper {
+		for i := range w.coarse {
+			if w.coarse[i].n > 0 {
+				deeper = true
+				break
+			}
+		}
+	}
+	if deeper {
+		if wrap := w.wrapBoundaryLocked(); best == -1 || wrap < best {
+			best = wrap
+		}
+	}
+	if best == -1 {
+		// Unreachable if counters are consistent; fail safe by polling
+		// the next tick rather than sleeping forever.
+		best = w.cur + 1
+	}
+	return best, true
+}
+
+// wrapBoundaryLocked is the next tick at which the fine wheel wraps and
+// cascading runs.
+func (w *Wheel) wrapBoundaryLocked() int64 {
+	return (w.cur &^ int64(fineMask)) + fineSlots
+}
+
+// fireBatch invokes the collected callbacks with no locks held. A timer
+// whose generation moved on (Stop or Reschedule since the drain) is
+// skipped — its cancellation won.
+func (w *Wheel) fireBatch(batch []firing, collectedAt time.Duration) {
+	if len(batch) == 0 {
+		return
+	}
+	if w.onBatch != nil {
+		earliest := batch[0].at
+		for _, f := range batch[1:] {
+			if f.at < earliest {
+				earliest = f.at
+			}
+		}
+		lag := collectedAt - earliest
+		if lag < 0 {
+			lag = 0
+		}
+		w.onBatch(len(batch), lag)
+	}
+	for _, f := range batch {
+		if f.t.gen.Load() != f.gen {
+			continue
+		}
+		f.t.fn()
+	}
+}
+
+// drive is the real-clock driver loop: advance, fire, sleep until the
+// next deadline or a kick. It exits when the wheel empties (or closes)
+// and is respawned by the next schedule, so an idle wheel costs zero
+// goroutines.
+func (w *Wheel) drive() {
+	var batch []firing
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.driving = false
+			w.mu.Unlock()
+			return
+		}
+		now := w.clk.Now()
+		batch = w.advanceLocked(w.tickFloor(now), batch[:0])
+		if len(batch) > 0 {
+			w.batches++
+		}
+		next, ok := w.nextWakeLocked()
+		if !ok && len(batch) == 0 {
+			w.driving = false
+			w.mu.Unlock()
+			return
+		}
+		if ok {
+			w.sleepTick = next
+		} else {
+			// Nothing queued but a batch to fire: its callbacks may
+			// schedule, so loop again after firing.
+			w.sleepTick = math.MaxInt64
+		}
+		w.mu.Unlock()
+		w.fireBatch(batch, now)
+		if !ok {
+			continue
+		}
+		d := time.Duration(next)*w.tick - w.clk.Now()
+		if d <= 0 {
+			continue
+		}
+		tmr := time.NewTimer(d)
+		select {
+		case <-tmr.C:
+		case <-w.notify:
+			tmr.Stop()
+		}
+	}
+}
+
+// onWake is the virtual-mode driver: the host clock delivers the wheel's
+// single pending wakeup event, the wheel advances to the event's tick,
+// fires, and re-arms for the next deadline.
+func (w *Wheel) onWake() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.wake = nil
+	now := w.clk.Now()
+	batch := w.advanceLocked(w.tickFloor(now), nil)
+	if len(batch) > 0 {
+		w.batches++
+	}
+	if next, ok := w.nextWakeLocked(); ok {
+		w.armWakeLocked(next)
+	}
+	w.mu.Unlock()
+	w.fireBatch(batch, now)
+}
+
+// armWakeLocked ensures a host-clock wakeup at tk (bounded to the next
+// wrap so cascading keeps per-wakeup work O(slots)), replacing a later
+// pending wakeup.
+func (w *Wheel) armWakeLocked(tk int64) {
+	if wrap := w.wrapBoundaryLocked(); tk > wrap {
+		tk = wrap
+	}
+	if w.wake != nil {
+		if w.wakeTick <= tk {
+			return
+		}
+		w.wake.Stop()
+	}
+	w.wakeTick = tk
+	d := time.Duration(tk)*w.tick - w.clk.Now()
+	if d < 0 {
+		d = 0
+	}
+	w.wake = w.clk.AfterFunc(d, w.onWake)
+}
+
+// Timer is an intrusive wheel timer. The zero deadline state (unqueued)
+// is reached through Stop or expiry; Reschedule re-arms from any state in
+// O(1) without allocating.
+type Timer struct {
+	w  *Wheel
+	fn func()
+
+	// gen is bumped under w.mu by every Stop and Reschedule; a fire batch
+	// entry whose captured generation no longer matches is dropped.
+	gen atomic.Uint64
+
+	// Intrusive list linkage and deadline, all guarded by w.mu.
+	next, prev *Timer
+	list       *timerList
+	tk         int64
+	at         time.Duration
+}
+
+// Reschedule re-arms the timer to fire d from now, replacing any pending
+// deadline in O(1).
+func (t *Timer) Reschedule(d time.Duration) {
+	w := t.w
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	t.gen.Add(1)
+	if t.list != nil {
+		t.list.remove(t)
+		w.scheduled--
+	}
+	now := w.clk.Now()
+	if w.scheduled == 0 {
+		// Empty wheel: fast-forward so an idle stretch is not replayed
+		// tick by tick on the next wakeup.
+		if c := w.tickFloor(now); c > w.cur {
+			w.cur = c
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.at = now + d
+	if d == 0 {
+		t.tk = w.cur
+	} else {
+		t.tk = w.tickCeil(t.at)
+	}
+	w.placeLocked(t)
+	w.scheduled++
+	kick := false
+	if w.real {
+		if !w.driving {
+			w.driving = true
+			go w.drive()
+		} else if t.tk <= w.cur || t.tk < w.sleepTick {
+			kick = true
+		}
+	} else {
+		w.armWakeLocked(t.tk)
+	}
+	w.mu.Unlock()
+	if kick {
+		select {
+		case w.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Stop cancels the timer, reporting whether it was queued. Stopping a
+// timer whose batch is already collected but not yet fired still
+// suppresses the callback (the generation moves on) but returns false,
+// mirroring time.Timer's contract that false may mean "already fired".
+func (t *Timer) Stop() bool {
+	w := t.w
+	w.mu.Lock()
+	t.gen.Add(1)
+	if t.list == nil {
+		w.mu.Unlock()
+		return false
+	}
+	t.list.remove(t)
+	w.scheduled--
+	empty := w.scheduled == 0
+	kick := false
+	if empty {
+		if w.real {
+			// Wake a parked driver so it notices the wheel emptied and
+			// exits instead of sleeping out its timer.
+			kick = w.driving
+		} else if w.wake != nil {
+			w.wake.Stop()
+			w.wake = nil
+		}
+	}
+	w.mu.Unlock()
+	if kick {
+		select {
+		case w.notify <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// timerList is an intrusive doubly-linked list of Timers; n is its
+// length, used for slot-occupancy stats and next-wake scans.
+type timerList struct {
+	head, tail *Timer
+	n          int
+}
+
+func (l *timerList) push(t *Timer) {
+	t.list = l
+	t.prev = l.tail
+	t.next = nil
+	if l.tail != nil {
+		l.tail.next = t
+	} else {
+		l.head = t
+	}
+	l.tail = t
+	l.n++
+}
+
+func (l *timerList) remove(t *Timer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		l.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		l.tail = t.prev
+	}
+	t.next, t.prev, t.list = nil, nil, nil
+	l.n--
+}

@@ -1,0 +1,445 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wanfd/internal/sim"
+)
+
+// fireLog records (label, instant) pairs in firing order.
+type fireLog struct {
+	mu      sync.Mutex
+	entries []fireEntry
+}
+
+type fireEntry struct {
+	label string
+	at    time.Duration
+}
+
+func (l *fireLog) add(label string, at time.Duration) {
+	l.mu.Lock()
+	l.entries = append(l.entries, fireEntry{label, at})
+	l.mu.Unlock()
+}
+
+func (l *fireLog) snapshot() []fireEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]fireEntry(nil), l.entries...)
+}
+
+// traceOp is one recorded scheduling operation of the equivalence trace.
+type traceOp struct {
+	label    string
+	delay    time.Duration
+	cancelAt time.Duration // when positive, stop the timer at this instant
+	rescheduleAt,
+	rescheduleTo time.Duration // when set, re-arm at rescheduleAt to +rescheduleTo
+	chain time.Duration // when positive, the callback schedules a follower at +chain
+}
+
+// equivalenceTrace exercises every wheel level: due, fine, fine-boundary,
+// coarse, overflow, ties within a slot, cancels, reschedules, and
+// callback-driven chains. All delays are multiples of the tick so the
+// wheel's ceil quantization is exact and both schedulers must agree to
+// the nanosecond.
+func equivalenceTrace(tick time.Duration) []traceOp {
+	return []traceOp{
+		{label: "zero", delay: 0},
+		{label: "one-tick", delay: tick},
+		{label: "fine-a", delay: 7 * tick},
+		{label: "fine-tie-1", delay: 40 * tick},
+		{label: "fine-tie-2", delay: 40 * tick},
+		{label: "fine-tie-3", delay: 40 * tick},
+		{label: "fine-edge", delay: fineSlots * tick},
+		{label: "coarse-a", delay: 300 * tick, chain: 5 * tick},
+		{label: "coarse-b", delay: (fineSlots + 1) * tick},
+		{label: "coarse-edge", delay: wheelSpan * tick},
+		{label: "overflow-a", delay: (wheelSpan + 123) * tick},
+		{label: "cancelled", delay: 90 * tick, cancelAt: 50 * tick},
+		{label: "moved", delay: 60 * tick, rescheduleAt: 30 * tick, rescheduleTo: 500 * tick},
+		{label: "chain-root", delay: 11 * tick, chain: 29 * tick},
+	}
+}
+
+// runTrace replays the trace on clk, scheduling through mk so the same
+// script drives the engine heap and the wheel.
+func runTrace(t *testing.T, eng *sim.Engine, clk sim.Clock, ops []traceOp) []fireEntry {
+	t.Helper()
+	log := &fireLog{}
+	for _, op := range ops {
+		op := op
+		var fire func()
+		fire = func() {
+			log.add(op.label, clk.Now())
+			if op.chain > 0 {
+				chained := op.label + "/child"
+				clk.AfterFunc(op.chain, func() { log.add(chained, clk.Now()) })
+			}
+		}
+		tm := clk.AfterFunc(op.delay, fire)
+		if op.cancelAt > 0 {
+			eng.At(op.cancelAt, func() { tm.Stop() })
+		}
+		if op.rescheduleAt > 0 {
+			eng.At(op.rescheduleAt, func() {
+				if r, ok := tm.(Rearmable); ok {
+					r.Reschedule(op.rescheduleTo)
+				} else {
+					tm.Stop()
+					tm = clk.AfterFunc(op.rescheduleTo, fire)
+				}
+			})
+		}
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	return log.snapshot()
+}
+
+// TestEngineEquivalence replays a recorded trace on the engine's exact
+// heap scheduler and on a wheel layered over an identical engine: the
+// fire sequences (labels and instants) must match exactly.
+func TestEngineEquivalence(t *testing.T) {
+	tick := time.Millisecond
+	ops := equivalenceTrace(tick)
+
+	heapEng := sim.NewEngine()
+	heapLog := runTrace(t, heapEng, heapEng, ops)
+
+	wheelEng := sim.NewEngine()
+	w := NewWheel(Config{Clock: wheelEng, Tick: tick})
+	wheelLog := runTrace(t, wheelEng, w, ops)
+
+	if len(heapLog) != len(wheelLog) {
+		t.Fatalf("heap fired %d, wheel fired %d\nheap:  %v\nwheel: %v",
+			len(heapLog), len(wheelLog), heapLog, wheelLog)
+	}
+	for i := range heapLog {
+		if heapLog[i] != wheelLog[i] {
+			t.Errorf("entry %d: heap %+v, wheel %+v", i, heapLog[i], wheelLog[i])
+		}
+	}
+	if st := w.Stats(); st.Cascades == 0 {
+		t.Errorf("trace spans coarse and overflow levels but recorded no cascades: %+v", st)
+	}
+	if st := w.Stats(); st.Scheduled != 0 {
+		t.Errorf("wheel not empty after trace: %+v", st)
+	}
+}
+
+// TestZeroAndNegativeDelay schedules non-positive delays on a virtual
+// wheel: both must fire at the current instant, not a tick later.
+func TestZeroAndNegativeDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: time.Millisecond})
+	eng.At(5*time.Millisecond, func() {}) // move time forward first
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	var fired []time.Duration
+	w.AfterFunc(0, func() { fired = append(fired, eng.Now()) })
+	w.AfterFunc(-3*time.Second, func() { fired = append(fired, eng.Now()) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d timers, want 2", len(fired))
+	}
+	for i, at := range fired {
+		if at != 5*time.Millisecond {
+			t.Errorf("timer %d fired at %v, want 5ms (immediately)", i, at)
+		}
+	}
+}
+
+// TestCancelAfterFire pins the Stop contract on both sides of expiry.
+func TestCancelAfterFire(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: time.Millisecond})
+	fired := 0
+	tm := w.AfterFunc(10*time.Millisecond, func() { fired++ })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire returned true, want false")
+	}
+
+	tm2 := w.AfterFunc(10*time.Millisecond, func() { fired++ })
+	if !tm2.Stop() {
+		t.Error("Stop before fire returned false, want true")
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("stopped timer fired anyway (fired=%d)", fired)
+	}
+}
+
+// TestRescheduleFromCallback re-arms a timer from inside its own callback
+// — the detector's steady-state pattern — and checks the periodic grid.
+func TestRescheduleFromCallback(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: time.Millisecond})
+	var fires []time.Duration
+	var tm Rearmable
+	tm = w.NewTimer(func() {
+		fires = append(fires, eng.Now())
+		if len(fires) < 4 {
+			tm.Reschedule(10 * time.Millisecond)
+		}
+	})
+	tm.Reschedule(10 * time.Millisecond)
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %d times (%v), want %d", len(fires), fires, len(want))
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Errorf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+// TestRescheduleWhileFiring races a Reschedule against a callback in
+// flight on the real clock: the timer must fire again at the new
+// deadline, and the wheel must end up empty.
+func TestRescheduleWhileFiring(t *testing.T) {
+	w := NewWheel(Config{Clock: sim.NewRealClock(), Tick: time.Millisecond})
+	defer w.Close()
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	fires := make(chan struct{}, 8)
+	first := true
+	var tm Rearmable
+	tm = w.NewTimer(func() {
+		if first {
+			first = false
+			inFlight <- struct{}{}
+			<-release
+		}
+		fires <- struct{}{}
+	})
+	tm.Reschedule(2 * time.Millisecond)
+	select {
+	case <-inFlight:
+	case <-time.NewTimer(5 * time.Second).C:
+		t.Fatal("first firing never started")
+	}
+	// The callback is mid-flight and the timer is unqueued: re-arm it now.
+	tm.Reschedule(5 * time.Millisecond)
+	close(release)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-fires:
+		case <-time.NewTimer(5 * time.Second).C:
+			t.Fatalf("saw %d firings, want 2 (original + rescheduled)", i)
+		}
+	}
+	waitWheelEmpty(t, w)
+}
+
+// TestCascadeAcrossLevels checks deadline placement beyond the fine
+// window: coarse and overflow timers must cascade inward and still fire
+// at their exact quantized instants.
+func TestCascadeAcrossLevels(t *testing.T) {
+	tick := time.Millisecond
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: tick})
+	coarseDelay := 1000 * tick                // past the 256-tick fine window
+	overflowDelay := (wheelSpan + 500) * tick // past the 16384-tick span
+	var got []fireEntry
+	w.AfterFunc(coarseDelay, func() { got = append(got, fireEntry{"coarse", eng.Now()}) })
+	w.AfterFunc(overflowDelay, func() { got = append(got, fireEntry{"overflow", eng.Now()}) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []fireEntry{{"coarse", coarseDelay}, {"overflow", overflowDelay}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if st := w.Stats(); st.Cascades < 2 {
+		t.Errorf("expected cascades from both outer levels, got %+v", st)
+	}
+}
+
+// TestSameSlotFIFO pins the tie-break: timers expiring in the same slot
+// fire in scheduling order, matching the engine's FIFO semantics.
+func TestSameSlotFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: time.Millisecond})
+	var order []string
+	for _, label := range []string{"a", "b", "c", "d"} {
+		label := label
+		w.AfterFunc(30*time.Millisecond, func() { order = append(order, label) })
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := "abcd"
+	got := ""
+	for _, l := range order {
+		got += l
+	}
+	if got != want {
+		t.Errorf("same-slot firing order %q, want %q", got, want)
+	}
+}
+
+// TestCloseCancelsAll closes a wheel with queued timers at every level:
+// nothing fires, stats drop to zero, and post-Close scheduling is a no-op.
+func TestCloseCancelsAll(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: time.Millisecond})
+	fired := 0
+	w.AfterFunc(0, func() { fired++ })
+	w.AfterFunc(5*time.Millisecond, func() { fired++ })
+	w.AfterFunc(time.Second, func() { fired++ })
+	w.AfterFunc(time.Hour, func() { fired++ })
+	w.Close()
+	w.AfterFunc(time.Millisecond, func() { fired++ })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Errorf("%d timers fired after Close, want 0", fired)
+	}
+	if st := w.Stats(); st.Scheduled != 0 {
+		t.Errorf("scheduled %d after Close, want 0", st.Scheduled)
+	}
+}
+
+// TestRetimerFallback checks NewTimer's adapter path on a clock without
+// native rearmable timers (the raw engine): same observable behaviour.
+func TestRetimerFallback(t *testing.T) {
+	eng := sim.NewEngine()
+	var fires []time.Duration
+	tm := NewTimer(eng, func() { fires = append(fires, eng.Now()) })
+	if _, isWheel := tm.(*Timer); isWheel {
+		t.Fatal("expected the stop-and-recreate adapter, got a wheel timer")
+	}
+	tm.Reschedule(10 * time.Millisecond)
+	tm.Reschedule(25 * time.Millisecond) // replaces the pending deadline
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 1 || fires[0] != 25*time.Millisecond {
+		t.Fatalf("fires = %v, want exactly one at 25ms", fires)
+	}
+	tm.Reschedule(time.Millisecond)
+	if !tm.Stop() {
+		t.Error("Stop on armed retimer returned false")
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 1 {
+		t.Fatalf("stopped retimer fired: %v", fires)
+	}
+}
+
+// TestWheelTimerViaNewTimer checks the DeadlineClock fast path hands out
+// native wheel timers.
+func TestWheelTimerViaNewTimer(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: time.Millisecond})
+	tm := NewTimer(w, func() {})
+	if _, isWheel := tm.(*Timer); !isWheel {
+		t.Fatalf("NewTimer over a wheel returned %T, want *Timer", tm)
+	}
+}
+
+// waitWheelEmpty polls until no timers remain and the real-mode driver
+// has parked, failing the test after a generous deadline.
+func waitWheelEmpty(t *testing.T, w *Wheel) {
+	t.Helper()
+	deadline := time.NewTimer(5 * time.Second)
+	defer deadline.Stop()
+	for {
+		w.mu.Lock()
+		idle := w.scheduled == 0 && !w.driving
+		w.mu.Unlock()
+		if idle {
+			return
+		}
+		select {
+		case <-deadline.C:
+			st := w.Stats()
+			t.Fatalf("wheel never went idle: %+v", st)
+		case <-time.NewTimer(5 * time.Millisecond).C:
+		}
+	}
+}
+
+// TestRealDriverLifecycle checks the lazy driver: it does not exist
+// before the first timer, runs while timers are queued, and exits when
+// the wheel empties — including via Stop of the last timer.
+func TestRealDriverLifecycle(t *testing.T) {
+	w := NewWheel(Config{Clock: sim.NewRealClock(), Tick: time.Millisecond})
+	defer w.Close()
+	w.mu.Lock()
+	driving := w.driving
+	w.mu.Unlock()
+	if driving {
+		t.Fatal("driver running before any timer was scheduled")
+	}
+
+	fired := make(chan struct{})
+	w.AfterFunc(3*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.NewTimer(5 * time.Second).C:
+		t.Fatal("timer never fired on the real driver")
+	}
+	waitWheelEmpty(t, w)
+
+	// A far-future timer parks the driver; stopping it must wake the
+	// driver so it exits instead of sleeping out the hour.
+	tm := w.AfterFunc(time.Hour, func() { t.Error("far-future timer fired") })
+	if !tm.Stop() {
+		t.Fatal("Stop on queued far-future timer returned false")
+	}
+	waitWheelEmpty(t, w)
+}
+
+// TestRealClockSteadyReschedule drives the detector's hot pattern on the
+// wall clock: many timers continuously re-armed before expiry, with the
+// driver surviving the churn and the wheel draining afterwards.
+func TestRealClockSteadyReschedule(t *testing.T) {
+	w := NewWheel(Config{Clock: sim.NewRealClock(), Tick: time.Millisecond})
+	defer w.Close()
+	const n = 32
+	timers := make([]Rearmable, n)
+	for i := range timers {
+		timers[i] = w.NewTimer(func() {})
+	}
+	for round := 0; round < 50; round++ {
+		for _, tm := range timers {
+			tm.Reschedule(time.Second)
+		}
+	}
+	if st := w.Stats(); st.Scheduled != n {
+		t.Fatalf("scheduled %d after reschedule storm, want %d", st.Scheduled, n)
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	waitWheelEmpty(t, w)
+}

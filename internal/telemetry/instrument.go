@@ -35,6 +35,12 @@ const (
 	MetricPeers       = "wanfd_cluster_peers"
 	MetricPeerAdds    = "wanfd_cluster_peer_adds_total"
 	MetricPeerRemoves = "wanfd_cluster_peer_removes_total"
+
+	MetricSchedTimers   = "wanfd_sched_timers"
+	MetricSchedFired    = "wanfd_sched_timers_fired_total"
+	MetricSchedCascades = "wanfd_sched_cascades_total"
+	MetricSchedMaxSlot  = "wanfd_sched_max_slot_occupancy"
+	MetricSchedBatchLag = "wanfd_sched_batch_lag_seconds"
 )
 
 // DetectorMetrics is the handle bundle the freshness-point detector hot

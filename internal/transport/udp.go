@@ -8,6 +8,7 @@ import (
 
 	"wanfd/internal/clock"
 	"wanfd/internal/neko"
+	"wanfd/internal/sched"
 	"wanfd/internal/sim"
 	"wanfd/internal/telemetry"
 )
@@ -35,6 +36,10 @@ type UDPNetwork struct {
 	conn  *net.UDPConn
 	epoch time.Time
 	clk   *sim.RealClock
+	// timers schedules the endpoint's own deadlines (the SyncWith round
+	// timeout) on the shared timing wheel. Its driver goroutine is lazy:
+	// an endpoint that never syncs never starts it.
+	timers *sched.Wheel
 
 	// peerMu guards the peer table, which is mutable at runtime (AddPeer/
 	// RemovePeer) so a cluster monitor can change membership without
@@ -93,6 +98,7 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 		byAddr:  byAddr,
 		epoch:   clk.Epoch(),
 		clk:     clk,
+		timers:  sched.NewWheel(sched.Config{Clock: clk}),
 		offsets: make(map[neko.ProcessID]time.Duration),
 		pending: make(map[int64]chan clock.Sample),
 		closed:  make(chan struct{}),
@@ -384,7 +390,7 @@ func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Dura
 			return 0, fmt.Errorf("transport: sync send: %w", err)
 		}
 		timedOut := make(chan struct{})
-		tmr := n.clk.AfterFunc(timeout, func() { close(timedOut) })
+		tmr := n.timers.AfterFunc(timeout, func() { close(timedOut) })
 		select {
 		case s := <-ch:
 			tmr.Stop()
@@ -435,6 +441,7 @@ func (n *UDPNetwork) Close() error {
 	default:
 	}
 	close(n.closed)
+	n.timers.Close()
 	err := n.conn.Close()
 	n.wg.Wait()
 	return err

@@ -10,6 +10,8 @@ import (
 	"wanfd/internal/core"
 	"wanfd/internal/layers"
 	"wanfd/internal/neko"
+	"wanfd/internal/sched"
+	"wanfd/internal/sim"
 	"wanfd/internal/telemetry"
 	"wanfd/internal/transport"
 )
@@ -113,6 +115,11 @@ type MultiMonitor struct {
 	opts   options
 	nextID atomic.Int64 // next peer ProcessID; monotonic, never reused
 	shards [peerShards]peerShard
+	// wheels are the per-shard timing wheels all peer deadlines run on:
+	// shard i's detectors schedule on wheels[i], so the whole cluster
+	// expires timers on at most peerShards lazy driver goroutines. Entries
+	// are nil when the monitor was built with WithTimerWheel(false).
+	wheels [peerShards]*sched.Wheel
 
 	// Cluster-level telemetry; every field is nil (a no-op) when the
 	// monitor was built without WithTelemetry.
@@ -188,6 +195,33 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		mm.shards[i].peers = make(map[string]*peerEntry)
 	}
 	mm.ctx = &neko.Context{ID: multiMonitorID, Clock: net.Clock()}
+	if !o.timerWheelOff {
+		var onBatch func(int, time.Duration)
+		if reg := o.telemetry; reg != nil {
+			lag := reg.Histogram(telemetry.MetricSchedBatchLag,
+				"Lag between the earliest deadline in an expiry batch and its collection.", nil)
+			// Histogram.Observe is lock-free, so concurrent shard drivers
+			// may share one series.
+			onBatch = func(_ int, l time.Duration) { lag.Observe(l.Seconds()) }
+		}
+		for i := range mm.wheels {
+			mm.wheels[i] = sched.NewWheel(sched.Config{Clock: net.Clock(), OnBatch: onBatch})
+		}
+		if reg := o.telemetry; reg != nil {
+			reg.GaugeFunc(telemetry.MetricSchedTimers,
+				"Deadlines currently queued across the shard timing wheels.",
+				func() float64 { return float64(mm.SchedulerStats().Timers) })
+			reg.CounterFunc(telemetry.MetricSchedFired,
+				"Timing-wheel timers expired.",
+				func() float64 { return float64(mm.SchedulerStats().Fired) })
+			reg.CounterFunc(telemetry.MetricSchedCascades,
+				"Timers migrated between timing-wheel levels.",
+				func() float64 { return float64(mm.SchedulerStats().Cascades) })
+			reg.GaugeFunc(telemetry.MetricSchedMaxSlot,
+				"High-water mark of deadlines sharing one wheel slot on any shard.",
+				func() float64 { return float64(mm.SchedulerStats().MaxSlotOccupancy) })
+		}
+	}
 	proc, err := neko.NewProcess(multiMonitorID, net.Clock(), net, mm.router)
 	if err != nil {
 		_ = net.Close()
@@ -261,7 +295,7 @@ func (m *MultiMonitor) AddPeer(name, addr string) error {
 		Predictor:  pred,
 		Margin:     margin,
 		Eta:        m.opts.eta,
-		Clock:      m.ctx.Clock,
+		Clock:      m.clockFor(name),
 		Listener:   namedListener{name: name, onChange: m.opts.onChange, reg: m.opts.telemetry},
 		MinTimeout: m.opts.minTimeout,
 		Metrics:    m.opts.telemetry.DetectorMetrics(name),
@@ -343,6 +377,53 @@ func (m *MultiMonitor) RemovePeer(name string) error {
 		reg.QoS().RemovePeer(name)
 	}
 	return nil
+}
+
+// clockFor returns the timer source for a peer's detector: its shard's
+// timing wheel, or the endpoint clock when the wheel is disabled. Timers
+// land on the same shard as the peer's table entry, so membership churn
+// and timer load distribute identically.
+func (m *MultiMonitor) clockFor(name string) sim.Clock {
+	if w := m.wheels[peerShardIndex(name)]; w != nil {
+		return w
+	}
+	return m.ctx.Clock
+}
+
+// SchedulerStats is an aggregate snapshot of a cluster monitor's shard
+// timing wheels.
+type SchedulerStats struct {
+	// Wheels is the number of shard wheels (0 with WithTimerWheel(false)).
+	Wheels int
+	// Timers is the number of deadlines currently queued.
+	Timers int
+	// Fired, Batches and Cascades are lifetime totals: timers expired,
+	// non-empty expiry batches, and timers migrated between wheel levels.
+	Fired, Batches, Cascades uint64
+	// MaxSlotOccupancy is the highest number of deadlines that ever shared
+	// one wheel slot on any shard.
+	MaxSlotOccupancy int
+}
+
+// SchedulerStats aggregates the shard wheels' counters. All fields are
+// zero when the timing wheel is disabled.
+func (m *MultiMonitor) SchedulerStats() SchedulerStats {
+	var out SchedulerStats
+	for _, w := range m.wheels {
+		if w == nil {
+			continue
+		}
+		s := w.Stats()
+		out.Wheels++
+		out.Timers += s.Scheduled
+		out.Fired += s.Fired
+		out.Batches += s.Batches
+		out.Cascades += s.Cascades
+		if s.MaxSlotOccupancy > out.MaxSlotOccupancy {
+			out.MaxSlotOccupancy = s.MaxSlotOccupancy
+		}
+	}
+	return out
 }
 
 // lookup finds a live peer entry.
@@ -457,10 +538,16 @@ func (m *MultiMonitor) LocalAddr() string { return m.net.LocalAddr().String() }
 // WithTelemetry).
 func (m *MultiMonitor) Telemetry() *telemetry.Registry { return m.opts.telemetry }
 
-// Close stops every detector and releases the socket.
+// Close stops every detector, shuts the shard timing wheels down, and
+// releases the socket.
 func (m *MultiMonitor) Close() error {
 	for _, e := range m.entries() {
 		e.mon.Stop()
+	}
+	for _, w := range m.wheels {
+		if w != nil {
+			w.Close()
+		}
 	}
 	return m.net.Close()
 }

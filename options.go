@@ -39,6 +39,10 @@ type options struct {
 	onTrust          func(elapsed time.Duration)
 	peers            []peerSpec
 	telemetry        *telemetry.Registry
+	// timerWheelOff is inverted so the zero value (also produced by the
+	// legacy ListenAndMonitorMany path, which builds options directly)
+	// keeps the timing wheel enabled by default.
+	timerWheelOff bool
 }
 
 // peerSpec is one initial cluster member.
@@ -168,6 +172,17 @@ func WithPeer(name, addr string) Option {
 // internal/telemetry.Mount for embedding it elsewhere.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(o *options) { o.telemetry = reg }
+}
+
+// WithTimerWheel enables or disables the shared timing-wheel scheduler of
+// a cluster monitor (default enabled). With the wheel on, all per-peer
+// freshness deadlines of a router shard share one wheel and one lazy
+// expiry goroutine — O(shards), not O(peers), timers. Disabling it falls
+// back to one runtime timer per peer per heartbeat cycle; the fallback
+// exists for A/B measurement (see BenchmarkCluster10k), not production
+// use.
+func WithTimerWheel(enabled bool) Option {
+	return func(o *options) { o.timerWheelOff = !enabled }
 }
 
 // rejectMonitorOnly returns an error when o carries options a cluster
