@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet lint cover reproduce fuzz clean
+.PHONY: all build test race bench benchguard fmt vet lint cover reproduce fuzz clean
 
 all: fmt vet lint build test
 
@@ -20,6 +20,13 @@ race:
 # The race target covers the same packages' tests.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Allocation-regression gate for the batched ingest pipeline: runs the
+# ingest benchmarks and fails if any benchmark recorded at 0 allocs/op in
+# BENCH_ingest.json allocates at all, or a non-zero baseline regresses by
+# more than 5%. Wall-clock is reported but never gated (CI noise).
+benchguard:
+	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_ingest.json
 
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"

@@ -63,6 +63,7 @@ func run() error {
 		accrual   = flag.Float64("accrual", 0, "use a φ-accrual detector at this threshold instead of predictor+margin (0 = off, single-peer mode)")
 		stats     = flag.Duration("stats", 10*time.Second, "statistics print interval (0 disables)")
 		events    = flag.Int("events", 512, "suspicion transitions kept for GET /events")
+		batched   = flag.Bool("batched", true, "use the batched zero-allocation ingest pipeline (false = classic per-packet receive loop)")
 	)
 	flag.Parse()
 	switch {
@@ -78,9 +79,9 @@ func run() error {
 		reg = telemetry.NewRegistry(*events)
 	}
 	if *peersFlag != "" {
-		return runCluster(*listen, *peersFlag, *httpAddr, *eta, *predictor, *margin, *stats, reg)
+		return runCluster(*listen, *peersFlag, *httpAddr, *eta, *predictor, *margin, *stats, *batched, reg)
 	}
-	return runSingle(*listen, *remote, *httpAddr, *eta, *predictor, *margin, *accrual, *sync, *stats, reg)
+	return runSingle(*listen, *remote, *httpAddr, *eta, *predictor, *margin, *accrual, *sync, *stats, *batched, reg)
 }
 
 // serveHTTP starts an HTTP server for the given handler and reports its
@@ -139,7 +140,7 @@ func singleHandler(mon *wanfd.Monitor, remote string, clk *sim.RealClock, reg *t
 	return mux
 }
 
-func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration, reg *telemetry.Registry) error {
+func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration, batched bool, reg *telemetry.Registry) error {
 	clk := sim.NewRealClock()
 	stamp := func(elapsed time.Duration) string {
 		return clk.Epoch().Add(elapsed).Format("15:04:05.000")
@@ -155,6 +156,7 @@ func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, ma
 		wanfd.WithOnTrust(func(at time.Duration) {
 			fmt.Printf("%s TRUST     (after %v)\n", stamp(at), at.Round(time.Millisecond))
 		}),
+		wanfd.WithBatchedTransport(batched),
 	}
 	if accrual > 0 {
 		opts = append(opts, wanfd.WithAccrualThreshold(accrual))
@@ -243,7 +245,7 @@ func parsePeers(spec string) ([][2]string, error) {
 	return out, nil
 }
 
-func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor, margin string, stats time.Duration, reg *telemetry.Registry) error {
+func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor, margin string, stats time.Duration, batched bool, reg *telemetry.Registry) error {
 	peers, err := parsePeers(peersSpec)
 	if err != nil {
 		return err
@@ -261,6 +263,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 			}
 			fmt.Printf("%s %s %s\n", clk.Epoch().Add(at).Format("15:04:05.000"), state, peer)
 		}),
+		wanfd.WithBatchedTransport(batched),
 	}
 	for _, p := range peers {
 		opts = append(opts, wanfd.WithPeer(p[0], p[1]))

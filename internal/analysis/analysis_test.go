@@ -166,6 +166,27 @@ func TestClockUseSanctionsSched(t *testing.T) {
 	}
 }
 
+// TestClockUseSanctionsFreelist checks the recycling-infrastructure
+// sanction: a package whose import path ends in internal/freelist may read
+// the wall clock directly (it stores opaque payloads and cannot launder a
+// detector timestamp), so the seeded time.Now and time.Since uses in the
+// fixture must produce no diagnostics.
+func TestClockUseSanctionsFreelist(t *testing.T) {
+	a := ByName("clockuse")
+	if a == nil {
+		t.Fatal("unknown analyzer clockuse")
+	}
+	dir := filepath.ToSlash(filepath.Join(
+		"internal", "analysis", "testdata", "src", "clockuse_freelist", "internal", "freelist"))
+	prog, err := Load(moduleRoot, []string{dir})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	if diags := prog.Run([]*Analyzer{a}); len(diags) > 0 {
+		t.Errorf("sanctioned internal/freelist produced %d diagnostics:\n%s", len(diags), render(diags))
+	}
+}
+
 // TestRepoIsClean runs the full suite over the repository itself — the
 // tree must stay free of findings so the lint gate in CI holds. Skipped in
 // -short mode: loading every package (and its stdlib imports, from source)

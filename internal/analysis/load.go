@@ -1,14 +1,18 @@
 package analysis
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -87,6 +91,37 @@ func Load(root string, dirs []string) (*Program, error) {
 	return prog, nil
 }
 
+// buildIncluded reports whether a source file's //go:build constraint (if
+// any) selects it for the lint host. The loader lints the same file set
+// the compiler would build here: GOOS/GOARCH tags match the running
+// platform and every other tag (race, custom tags) is false, so exactly
+// one file of a platform-gated pair is loaded and its fallback twin never
+// collides with it during type checking. Only the constraint line is
+// honoured — the repo's convention is an explicit //go:build on every
+// gated file, so filename-suffix-only gating is not supported.
+func buildIncluded(src []byte) bool {
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return true // malformed constraints are the compiler's problem
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH
+			})
+		}
+		// The constraint must precede the package clause; stop at the
+		// first line that can no longer be part of the file header.
+		if line != "" && !strings.HasPrefix(line, "//") &&
+			!strings.HasPrefix(line, "/*") && !strings.HasPrefix(line, "*") {
+			break
+		}
+	}
+	return true
+}
+
 // readModulePath extracts the module path from a go.mod, or returns "".
 func readModulePath(gomod string) string {
 	data, err := os.ReadFile(gomod)
@@ -163,12 +198,18 @@ func (prog *Program) loadDir(dir string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
+		if !buildIncluded(src) {
+			continue
+		}
 		f, err := parser.ParseFile(prog.Fset, rel, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
 		prog.ignores[rel] = scanIgnores(prog.Fset, f)
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),

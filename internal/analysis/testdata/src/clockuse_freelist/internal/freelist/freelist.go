@@ -1,0 +1,15 @@
+// Package freelist mirrors the sanctioned recycling-infrastructure
+// package: its import path ends in internal/freelist, so clockuse must
+// report nothing here even for direct wall-clock reads.
+package freelist
+
+import "time"
+
+// AgeOut is the kind of raw clock access a recycling policy needs:
+// stamping pooled values and decaying them by wall-clock age.
+func AgeOut(stamp time.Time) bool {
+	if stamp.IsZero() {
+		stamp = time.Now()
+	}
+	return time.Since(stamp) > time.Minute
+}

@@ -141,7 +141,7 @@ func (d *AccrualDetector) OnHeartbeat(seq int64, _ time.Duration, now time.Durat
 		return // not enough history yet: never suspect on a cold window
 	}
 	d.crossing = now + wait
-	d.timer.Reschedule(wait + timerSlack)
+	d.timer.RescheduleAt(d.crossing+timerSlack, now)
 }
 
 // crossingDelay returns how long after the last arrival φ reaches the

@@ -218,7 +218,10 @@ func (d *Detector) OnHeartbeat(seq int64, sendTime, now time.Duration) {
 		// the expiry check runs an instant after τ — otherwise, in the
 		// simulator's FIFO event order, a deadline tied with an arrival
 		// would suspect first.
-		d.timer.Reschedule(deadline - now + timerSlack)
+		// Absolute re-arm against the receive stamp already in hand: on the
+		// batched ingest path one clock read per drain batch covers every
+		// deadline it re-arms, instead of a second read inside the wheel.
+		d.timer.RescheduleAt(deadline+timerSlack, now)
 		return
 	}
 	// Even the next expected heartbeat is already overdue: suspicion

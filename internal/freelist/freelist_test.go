@@ -1,0 +1,379 @@
+package freelist
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len() = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop succeeded on an empty ring")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {1000, 1024},
+	} {
+		if got := NewRing[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing[int](2)
+	for lap := 0; lap < 1000; lap++ {
+		if !r.TryPush(lap) {
+			t.Fatalf("lap %d: push failed", lap)
+		}
+		v, ok := r.TryPop()
+		if !ok || v != lap {
+			t.Fatalf("lap %d: pop = (%d, %v)", lap, v, ok)
+		}
+	}
+}
+
+// TestRingConcurrent hammers the ring from several producers and consumers
+// under -race: every pushed value must be popped exactly once.
+func TestRingConcurrent(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 2000
+	)
+	r := NewRing[int](64)
+	var wg sync.WaitGroup
+	seen := make([]chan int, consumers)
+	for i := range seen {
+		seen[i] = make(chan int, producers*perProd)
+	}
+	var produced, consumed sync.WaitGroup
+	produced.Add(producers)
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer produced.Done()
+			for i := 0; i < perProd; i++ {
+				v := p*perProd + i
+				for !r.TryPush(v) {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { produced.Wait(); close(done) }()
+	consumed.Add(consumers)
+	for c := 0; c < consumers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer consumed.Done()
+			for {
+				v, ok := r.TryPop()
+				if ok {
+					seen[c] <- v
+					continue
+				}
+				select {
+				case <-done:
+					// Producers finished; drain what is left.
+					if v, ok := r.TryPop(); ok {
+						seen[c] <- v
+						continue
+					}
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := make(map[int]int)
+	for _, ch := range seen {
+		close(ch)
+		for v := range ch {
+			got[v]++
+		}
+	}
+	if len(got) != producers*perProd {
+		t.Fatalf("popped %d distinct values, want %d", len(got), producers*perProd)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+}
+
+func TestPoolRecyclesAndCountsMisses(t *testing.T) {
+	built := 0
+	p := NewPool(2, func() *int { built++; v := new(int); return v })
+	a := p.Get() // miss 1
+	b := p.Get() // miss 2
+	if p.Misses() != 2 || built != 2 {
+		t.Fatalf("misses = %d (built %d), want 2", p.Misses(), built)
+	}
+	if !p.Put(a) || !p.Put(b) {
+		t.Fatal("Put failed on a non-full freelist")
+	}
+	c := p.Get()
+	d := p.Get()
+	if p.Misses() != 2 {
+		t.Fatalf("recycled Gets counted as misses: %d", p.Misses())
+	}
+	if (c != a && c != b) || (d != a && d != b) || c == d {
+		t.Fatal("Get did not hand back the recycled values")
+	}
+	// Overfull Put releases instead of recycling.
+	if !p.Put(c) || !p.Put(d) {
+		t.Fatal("Put failed while refilling")
+	}
+	if p.Put(new(int)) {
+		t.Fatal("Put succeeded on a full freelist")
+	}
+}
+
+// TestRingZeroAlloc pins the push/pop fast paths at zero allocations —
+// the property the whole ingest pipeline is built on.
+func TestRingZeroAlloc(t *testing.T) {
+	r := NewRing[*int](8)
+	v := new(int)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.TryPush(v)
+		r.TryPop()
+	}); n != 0 {
+		t.Fatalf("ring push+pop allocates %.1f/op, want 0", n)
+	}
+	p := NewPool(8, func() *int { return new(int) })
+	p.Put(v)
+	if n := testing.AllocsPerRun(1000, func() {
+		x := p.Get()
+		p.Put(x)
+	}); n != 0 {
+		t.Fatalf("warm pool get+put allocates %.1f/op, want 0", n)
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing[*int](1024)
+	v := new(int)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.TryPush(v)
+		r.TryPop()
+	}
+}
+
+// TestRingBatchOps covers the single-reservation batch push/pop used by
+// the ingest drain loop: runs respect FIFO order, a full ring accepts a
+// partial prefix, and an empty ring reports 0.
+func TestRingBatchOps(t *testing.T) {
+	r := NewRing[int](4)
+	if got := r.TryPushN(nil); got != 0 {
+		t.Fatalf("TryPushN(nil) = %d, want 0", got)
+	}
+	if got := r.TryPushN([]int{0, 1, 2, 3, 4, 5}); got != 4 {
+		t.Fatalf("TryPushN over capacity = %d, want 4", got)
+	}
+	if got := r.TryPushN([]int{9}); got != 0 {
+		t.Fatalf("TryPushN on full ring = %d, want 0", got)
+	}
+	dst := make([]int, 8)
+	if got := r.TryPopN(dst); got != 4 {
+		t.Fatalf("TryPopN = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if dst[i] != i {
+			t.Fatalf("TryPopN order: dst = %v", dst[:4])
+		}
+	}
+	if got := r.TryPopN(dst); got != 0 {
+		t.Fatalf("TryPopN on empty ring = %d, want 0", got)
+	}
+	// Mixed single/batch ops across many laps keep FIFO through wraps.
+	next, expect := 0, 0
+	for lap := 0; lap < 500; lap++ {
+		batch := []int{next, next + 1, next + 2}
+		next += 3
+		if got := r.TryPushN(batch); got != 3 {
+			t.Fatalf("lap %d: TryPushN = %d, want 3", lap, got)
+		}
+		if v, ok := r.TryPop(); !ok || v != expect {
+			t.Fatalf("lap %d: TryPop = (%d, %v), want (%d, true)", lap, v, ok, expect)
+		}
+		expect++
+		if got := r.TryPopN(dst[:2]); got != 2 || dst[0] != expect || dst[1] != expect+1 {
+			t.Fatalf("lap %d: TryPopN = %d %v, want 2 [%d %d]", lap, got, dst[:2], expect, expect+1)
+		}
+		expect += 2
+	}
+}
+
+// TestRingBatchConcurrent mixes batch and single producers/consumers
+// under -race: every value exactly once, like TestRingConcurrent.
+func TestRingBatchConcurrent(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 2000
+		chunk     = 16
+	)
+	r := NewRing[int](64)
+	var wg, produced sync.WaitGroup
+	results := make(chan []int, consumers)
+	produced.Add(producers)
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer produced.Done()
+			vals := make([]int, perProd)
+			for i := range vals {
+				vals[i] = p*perProd + i
+			}
+			for len(vals) > 0 {
+				n := chunk
+				if n > len(vals) {
+					n = len(vals)
+				}
+				k := r.TryPushN(vals[:n])
+				if k == 0 {
+					runtime.Gosched()
+					continue
+				}
+				vals = vals[k:]
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { produced.Wait(); close(done) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []int
+			buf := make([]int, chunk)
+			for {
+				if k := r.TryPopN(buf); k > 0 {
+					mine = append(mine, buf[:k]...)
+					continue
+				}
+				select {
+				case <-done:
+					if k := r.TryPopN(buf); k > 0 {
+						mine = append(mine, buf[:k]...)
+						continue
+					}
+					results <- mine
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	got := make(map[int]int)
+	for mine := range results {
+		for _, v := range mine {
+			got[v]++
+		}
+	}
+	if len(got) != producers*perProd {
+		t.Fatalf("popped %d distinct values, want %d", len(got), producers*perProd)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+}
+
+// TestPoolBatchOps pins GetN/PutN: recycled values come back first,
+// only the shortfall is minted (and counted as misses), and PutN
+// reports how many values the freelist accepted.
+func TestPoolBatchOps(t *testing.T) {
+	built := 0
+	p := NewPool(4, func() *int { built++; return new(int) })
+	seed := []*int{new(int), new(int)}
+	if got := p.PutN(seed); got != 2 {
+		t.Fatalf("PutN = %d, want 2", got)
+	}
+	dst := make([]*int, 4)
+	p.GetN(dst)
+	if built != 2 || p.Misses() != 2 {
+		t.Fatalf("built %d (misses %d), want 2 fresh for a 4-wide GetN over 2 recycled", built, p.Misses())
+	}
+	recycled := 0
+	for _, v := range dst {
+		if v == seed[0] || v == seed[1] {
+			recycled++
+		}
+	}
+	if recycled != 2 {
+		t.Fatalf("GetN returned %d recycled values, want 2", recycled)
+	}
+	// Overfull PutN accepts up to capacity and releases the rest.
+	six := make([]*int, 6)
+	for i := range six {
+		six[i] = new(int)
+	}
+	if got := p.PutN(six); got != 4 {
+		t.Fatalf("overfull PutN = %d, want 4", got)
+	}
+}
+
+// TestRingBatchZeroAlloc pins the batch paths at zero allocations, like
+// TestRingZeroAlloc does for the single-value paths.
+func TestRingBatchZeroAlloc(t *testing.T) {
+	r := NewRing[*int](64)
+	vs := make([]*int, 16)
+	for i := range vs {
+		vs[i] = new(int)
+	}
+	dst := make([]*int, 16)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.TryPushN(vs)
+		r.TryPopN(dst)
+	}); n != 0 {
+		t.Fatalf("batch push+pop allocates %.1f/op, want 0", n)
+	}
+	p := NewPool(64, func() *int { return new(int) })
+	p.PutN(vs)
+	if n := testing.AllocsPerRun(1000, func() {
+		p.GetN(dst)
+		p.PutN(dst)
+	}); n != 0 {
+		t.Fatalf("warm pool GetN+PutN allocates %.1f/op, want 0", n)
+	}
+}

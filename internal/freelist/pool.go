@@ -1,0 +1,85 @@
+package freelist
+
+import "sync/atomic"
+
+// Pool is a fixed-capacity freelist: Get pops a recycled value or builds a
+// fresh one (counting the miss), Put recycles a value unless the freelist
+// is already full, in which case the value is simply released to the
+// garbage collector. Unlike sync.Pool it is never drained by GC cycles, so
+// a warmed pool keeps a steady-state path at exactly zero allocations, and
+// its capacity bounds the memory a burst can pin.
+//
+// The constructor function must return a value ready for use; Put performs
+// no cleaning — callers that hand out aliased state (for example pooled
+// messages) reset or poison it before recycling.
+type Pool[T any] struct {
+	ring   *Ring[T]
+	fresh  func() T
+	misses atomic.Uint64
+}
+
+// NewPool builds a pool holding at most capacity recycled values (rounded
+// up to a power of two), minting new ones with fresh on a miss.
+func NewPool[T any](capacity int, fresh func() T) *Pool[T] {
+	return &Pool[T]{ring: NewRing[T](capacity), fresh: fresh}
+}
+
+// Get returns a recycled value, or a freshly built one when the freelist
+// is empty (a pool miss).
+func (p *Pool[T]) Get() T {
+	if v, ok := p.ring.TryPop(); ok {
+		return v
+	}
+	p.misses.Add(1)
+	return p.fresh()
+}
+
+// Put recycles v, reporting false when the freelist is full and v was
+// released instead.
+func (p *Pool[T]) Put(v T) bool { return p.ring.TryPush(v) }
+
+// GetN fills dst entirely: recycled values first (claimed in runs, one
+// cursor reservation per run), then freshly built ones for the remainder,
+// each counted as a miss. The batched receive path gets a whole drain
+// batch of messages for one or two atomic claims instead of one per
+// datagram.
+func (p *Pool[T]) GetN(dst []T) {
+	n := 0
+	for n < len(dst) {
+		k := p.ring.TryPopN(dst[n:])
+		if k == 0 {
+			break
+		}
+		n += k
+	}
+	for ; n < len(dst); n++ {
+		p.misses.Add(1)
+		dst[n] = p.fresh()
+	}
+}
+
+// PutN recycles vs in runs, returning how many values the freelist
+// accepted; the remainder is released to the garbage collector.
+func (p *Pool[T]) PutN(vs []T) int {
+	n := 0
+	for n < len(vs) {
+		k := p.ring.TryPushN(vs[n:])
+		if k == 0 {
+			break
+		}
+		n += k
+	}
+	return n
+}
+
+// Misses returns the number of Gets served by the constructor instead of
+// the freelist. A steady-state pipeline holds this flat; growth means the
+// pool is undersized for the in-flight population.
+func (p *Pool[T]) Misses() uint64 { return p.misses.Load() }
+
+// Len returns the approximate number of values currently parked in the
+// freelist.
+func (p *Pool[T]) Len() int { return p.ring.Len() }
+
+// Cap returns the fixed freelist capacity.
+func (p *Pool[T]) Cap() int { return p.ring.Cap() }

@@ -306,6 +306,35 @@ func (m *MultiPlexer) Receive(msg *neko.Message) {
 	}
 }
 
+// ReceiveAt fans one timestamped message out, forwarding the stamp to
+// uppers that accept it.
+func (m *MultiPlexer) ReceiveAt(msg *neko.Message, at time.Duration) {
+	m.mu.RLock()
+	uppers := m.uppers
+	m.mu.RUnlock()
+	for _, u := range uppers {
+		if tr, ok := u.(neko.TimedReceiver); ok {
+			tr.ReceiveAt(msg, at)
+			continue
+		}
+		u.Receive(msg)
+	}
+}
+
+// ReceiveBatch fans a same-stamp batch out message by message — every upper
+// must see every message, so the fan-out dominates and per-upper batch
+// regrouping would buy nothing.
+func (m *MultiPlexer) ReceiveBatch(ms []*neko.Message, at time.Duration) {
+	for _, msg := range ms {
+		m.ReceiveAt(msg, at)
+	}
+}
+
+var (
+	_ neko.TimedReceiver = (*MultiPlexer)(nil)
+	_ neko.BatchReceiver = (*MultiPlexer)(nil)
+)
+
 // Monitor wraps one failure detector as a protocol layer: every heartbeat
 // delivered from below is fed to the detector with its receive timestamp.
 // It accepts any core.HeartbeatConsumer — the paper's freshness-point
@@ -350,6 +379,21 @@ func (m *Monitor) Receive(msg *neko.Message) {
 	}
 	m.Base.Receive(msg)
 }
+
+// ReceiveAt feeds a heartbeat to the detector using the receive timestamp
+// the transport already took for the message's drain batch, instead of
+// reading the clock again per message. The detector semantics are
+// unchanged: at is the heartbeat's arrival time A_i (DESIGN.md §10 bounds
+// the batch-stamp skew).
+func (m *Monitor) ReceiveAt(msg *neko.Message, at time.Duration) {
+	if ctx := m.ctx.Load(); ctx != nil && msg.Type == neko.MsgHeartbeat {
+		m.c.OnHeartbeat(msg.Seq, msg.SentAt, at)
+		return
+	}
+	m.Base.Receive(msg)
+}
+
+var _ neko.TimedReceiver = (*Monitor)(nil)
 
 // Stop stops the wrapped detector's timers.
 func (m *Monitor) Stop() { m.c.Stop() }

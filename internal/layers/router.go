@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"wanfd/internal/neko"
 	"wanfd/internal/telemetry"
@@ -153,3 +154,81 @@ func (r *Router) Receive(m *neko.Message) {
 	r.unrouted.Inc()
 	r.Base.Receive(m)
 }
+
+// ReceiveAt dispatches one timestamped message, forwarding the stamp when
+// the route target accepts it.
+func (r *Router) ReceiveAt(m *neko.Message, at time.Duration) {
+	s := &r.shards[shardIndex(m.From)]
+	if r.telemetry {
+		if !s.mu.TryRLock() {
+			s.contended.Inc()
+			s.mu.RLock()
+		}
+		s.dispatch.Inc()
+	} else {
+		s.mu.RLock()
+	}
+	rcv, ok := s.routes[m.From]
+	s.mu.RUnlock()
+	if ok {
+		if tr, trOK := rcv.(neko.TimedReceiver); trOK {
+			tr.ReceiveAt(m, at)
+			return
+		}
+		rcv.Receive(m)
+		return
+	}
+	r.unrouted.Inc()
+	r.Base.Receive(m)
+}
+
+// ReceiveBatch dispatches a same-stamp batch. Consecutive messages from
+// the same source (the common case when a sender's burst is drained in one
+// cycle) reuse the previous route resolution, so the shard lock and the
+// interface assertion are paid once per run, not once per message.
+func (r *Router) ReceiveBatch(ms []*neko.Message, at time.Duration) {
+	var (
+		from     neko.ProcessID
+		rcv      neko.Receiver
+		tr       neko.TimedReceiver
+		routed   bool
+		dispatch *telemetry.Counter
+		valid    bool
+	)
+	for _, m := range ms {
+		if !valid || m.From != from {
+			s := &r.shards[shardIndex(m.From)]
+			if r.telemetry {
+				if !s.mu.TryRLock() {
+					s.contended.Inc()
+					s.mu.RLock()
+				}
+			} else {
+				s.mu.RLock()
+			}
+			rcv, routed = s.routes[m.From]
+			s.mu.RUnlock()
+			from, valid = m.From, true
+			dispatch = s.dispatch
+			tr = nil
+			if routed {
+				tr, _ = rcv.(neko.TimedReceiver)
+			}
+		}
+		dispatch.Inc() // nil (a no-op) when uninstrumented
+		switch {
+		case tr != nil:
+			tr.ReceiveAt(m, at)
+		case routed:
+			rcv.Receive(m)
+		default:
+			r.unrouted.Inc()
+			r.Base.Receive(m)
+		}
+	}
+}
+
+var (
+	_ neko.TimedReceiver = (*Router)(nil)
+	_ neko.BatchReceiver = (*Router)(nil)
+)

@@ -55,6 +55,31 @@ type Receiver interface {
 	Receive(m *Message)
 }
 
+// TimedReceiver is an optional Receiver extension: ReceiveAt delivers a
+// message together with the receive timestamp the transport already read,
+// so receivers that would otherwise call Clock.Now per message (the
+// monitor's heartbeat path) reuse the transport's single per-batch reading
+// instead. Implementations must treat ReceiveAt(m, at) exactly like
+// Receive(m) observed at time at.
+//
+// The interface is asserted dynamically at attach time, and deliberately
+// NOT promoted via Base: a layer that overrides Receive (crash simulation,
+// clock skew) must not inherit a ReceiveAt that bypasses its override.
+type TimedReceiver interface {
+	Receiver
+	ReceiveAt(m *Message, at time.Duration)
+}
+
+// BatchReceiver is an optional Receiver extension for transports that
+// drain several datagrams per wakeup: one call delivers the whole batch,
+// all observed at the same timestamp. Receivers may retain individual
+// messages per their usual contract but must not retain the slice itself —
+// the transport reuses it for the next batch.
+type BatchReceiver interface {
+	Receiver
+	ReceiveBatch(ms []*Message, at time.Duration)
+}
+
 // Context gives layers access to their process identity and time source.
 type Context struct {
 	// ID is the process the layer belongs to.

@@ -46,6 +46,15 @@ type Rearmable interface {
 	// re-check their own deadline state, exactly as they must for the
 	// equivalent time.AfterFunc race.
 	Reschedule(d time.Duration)
+	// RescheduleAt re-arms the timer to fire at the absolute instant at,
+	// reusing the caller's already-read clock value now instead of reading
+	// the clock again — the batched receive path's amortization: one clock
+	// read stamps a whole drain batch and every per-heartbeat re-arm rides
+	// on it. An at not after now fires as soon as possible. now must be a
+	// reading of this timer's clock; a slightly stale (monotone) reading
+	// is safe — the firing tick derives from at alone, so lag can only
+	// delay housekeeping, never fire the timer early.
+	RescheduleAt(at, now time.Duration)
 }
 
 // DeadlineClock is implemented by clocks with native rearmable timers —
@@ -88,6 +97,10 @@ func (r *retimer) Reschedule(d time.Duration) {
 	r.t = r.clk.AfterFunc(d, r.fn)
 	r.mu.Unlock()
 }
+
+// RescheduleAt converts the absolute deadline against the caller's clock
+// reading; the stop-and-recreate path has no clock read of its own to save.
+func (r *retimer) RescheduleAt(at, now time.Duration) { r.Reschedule(at - now) }
 
 // Stop cancels the pending timer. It reports whether the call prevented a
 // firing.

@@ -492,12 +492,39 @@ func (t *Timer) Reschedule(d time.Duration) {
 		w.mu.Unlock()
 		return
 	}
+	now := w.clk.Now()
+	if d < 0 {
+		d = 0
+	}
+	t.rescheduleLocked(now+d, now)
+}
+
+// RescheduleAt re-arms the timer to fire at the absolute instant at,
+// reusing the caller's clock reading now instead of reading the clock
+// again. The firing tick derives from at alone, so a slightly stale
+// (monotone) now can only make the empty-wheel fast-forward less
+// aggressive — the timer never fires early. An at not after now fires as
+// soon as possible.
+func (t *Timer) RescheduleAt(at, now time.Duration) {
+	w := t.w
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	t.rescheduleLocked(at, now)
+}
+
+// rescheduleLocked places the timer for the absolute deadline at, with now
+// the caller's reading of the wheel clock. Called with w.mu held; releases
+// it (and delivers the driver kick outside the lock).
+func (t *Timer) rescheduleLocked(at, now time.Duration) {
+	w := t.w
 	t.gen.Add(1)
 	if t.list != nil {
 		t.list.remove(t)
 		w.scheduled--
 	}
-	now := w.clk.Now()
 	if w.scheduled == 0 {
 		// Empty wheel: fast-forward so an idle stretch is not replayed
 		// tick by tick on the next wakeup.
@@ -505,14 +532,14 @@ func (t *Timer) Reschedule(d time.Duration) {
 			w.cur = c
 		}
 	}
-	if d < 0 {
-		d = 0
+	if at < now {
+		at = now
 	}
-	t.at = now + d
-	if d == 0 {
+	t.at = at
+	if at == now {
 		t.tk = w.cur
 	} else {
-		t.tk = w.tickCeil(t.at)
+		t.tk = w.tickCeil(at)
 	}
 	w.placeLocked(t)
 	w.scheduled++

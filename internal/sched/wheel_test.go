@@ -443,3 +443,48 @@ func TestRealClockSteadyReschedule(t *testing.T) {
 	}
 	waitWheelEmpty(t, w)
 }
+
+// TestRescheduleAt pins the batched-ingest re-arm contract: the firing
+// tick derives from the absolute deadline alone, so a stale (but
+// monotone) caller-supplied now can never fire the timer early, and a
+// fresh now places the deadline exactly.
+func TestRescheduleAt(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: time.Millisecond})
+	var fires []time.Duration
+	var tm Rearmable = w.NewTimer(func() { fires = append(fires, eng.Now()) })
+
+	// Fresh now: exact placement at the absolute deadline.
+	tm.RescheduleAt(10*time.Millisecond, eng.Now())
+	// Mid-flight re-arm with a stale now (the batch stamp read at t=0):
+	// the timer must move to exactly 25ms, not 25ms-minus-staleness.
+	eng.At(4*time.Millisecond, func() { tm.RescheduleAt(25*time.Millisecond, 0) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 1 || fires[0] != 25*time.Millisecond {
+		t.Fatalf("fires = %v, want exactly one at 25ms", fires)
+	}
+
+	// A deadline already in the past (clamped to now) fires on the next
+	// advance rather than being lost or going backwards.
+	fires = nil
+	eng.At(40*time.Millisecond, func() { tm.RescheduleAt(30*time.Millisecond, 40*time.Millisecond) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 1 || fires[0] < 40*time.Millisecond {
+		t.Fatalf("past-deadline fires = %v, want one at >= 40ms", fires)
+	}
+
+	// The stop-and-recreate adapter honours the same signature.
+	var rfires []time.Duration
+	rt := NewTimer(eng, func() { rfires = append(rfires, eng.Now()) })
+	eng.At(60*time.Millisecond, func() { rt.RescheduleAt(75*time.Millisecond, 60*time.Millisecond) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rfires) != 1 || rfires[0] != 75*time.Millisecond {
+		t.Fatalf("retimer fires = %v, want exactly one at 75ms", rfires)
+	}
+}

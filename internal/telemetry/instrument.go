@@ -27,6 +27,13 @@ const (
 	MetricPacketsReceived = "wanfd_transport_packets_received_total"
 	MetricDecodeErrors    = "wanfd_transport_decode_errors_total"
 	MetricPacketsDropped  = "wanfd_transport_packets_dropped_total"
+	MetricSendErrors      = "wanfd_transport_send_errors_total"
+
+	MetricIngestBatchSize  = "wanfd_ingest_batch_size"
+	MetricIngestDrains     = "wanfd_ingest_drain_cycles_total"
+	MetricIngestRingDrops  = "wanfd_ingest_ring_drops_total"
+	MetricIngestRingDepth  = "wanfd_ingest_ring_occupancy"
+	MetricIngestPoolMisses = "wanfd_ingest_pool_misses_total"
 
 	MetricRouterDispatch  = "wanfd_router_dispatch_total"
 	MetricRouterUnrouted  = "wanfd_router_unrouted_total"
@@ -140,6 +147,9 @@ type TransportMetrics struct {
 	// Dropped counts packets discarded without delivery (no receiver
 	// attached, or sends to unregistered peers).
 	Dropped *Counter
+	// SendErrors counts messages lost on the egress path: unencodable
+	// messages, socket write errors and short writes.
+	SendErrors *Counter
 }
 
 // TransportMetrics builds the socket-level handle bundle (nil on a nil
@@ -153,6 +163,7 @@ func (r *Registry) TransportMetrics() *TransportMetrics {
 		Received:     r.Counter(MetricPacketsReceived, "Valid UDP packets received."),
 		DecodeErrors: r.Counter(MetricDecodeErrors, "Malformed inbound packets discarded."),
 		Dropped:      r.Counter(MetricPacketsDropped, "Packets discarded without delivery."),
+		SendErrors:   r.Counter(MetricSendErrors, "Messages lost to encode or socket write failures."),
 	}
 }
 

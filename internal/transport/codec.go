@@ -75,31 +75,55 @@ func Encode(buf []byte, m *neko.Message, sentUnixNano int64) ([]byte, error) {
 // zero — the caller maps the returned Unix timestamp onto its own time
 // base) and the sender's wall-clock send time.
 func Decode(pkt []byte) (*neko.Message, int64, error) {
+	m := &neko.Message{}
+	sent, err := DecodeInto(m, pkt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, sent, nil
+}
+
+// DecodeInto parses a wire packet into an existing message, overwriting
+// every field, and returns the sender's wall-clock send time (SentAt is
+// left zero — the caller maps the Unix timestamp onto its own time base).
+// The payload is copied into m's payload buffer, growing it only when the
+// capacity is too small, so a pooled message decodes with zero allocations
+// once warm.
+//
+// Aliasing contract: the returned message never references pkt. The
+// receive loops reuse one packet buffer across datagrams, so any sub-slice
+// of pkt retained here would be silently corrupted by the next read;
+// TestDecodeNeverAliasesPacket pins this.
+func DecodeInto(m *neko.Message, pkt []byte) (int64, error) {
 	if len(pkt) < headerSize {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	if pkt[0] != wireMagic[0] || pkt[1] != wireMagic[1] || pkt[2] != wireVersion {
-		return nil, 0, ErrBadPacket
+		return 0, ErrBadPacket
 	}
 	plen := int(binary.BigEndian.Uint16(pkt[28:30]))
 	if plen > maxPayload {
-		return nil, 0, ErrPayloadSize
+		return 0, ErrPayloadSize
 	}
 	if len(pkt) < headerSize+plen {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
-	m := &neko.Message{
-		Type: neko.MessageType(pkt[3]),
-		From: neko.ProcessID(int32(binary.BigEndian.Uint32(pkt[4:8]))),
-		To:   neko.ProcessID(int32(binary.BigEndian.Uint32(pkt[8:12]))),
-		Seq:  int64(binary.BigEndian.Uint64(pkt[12:20])),
-	}
-	if plen > 0 {
-		m.Payload = make([]byte, plen)
-		copy(m.Payload, pkt[headerSize:headerSize+plen])
+	m.Type = neko.MessageType(pkt[3])
+	m.From = neko.ProcessID(int32(binary.BigEndian.Uint32(pkt[4:8])))
+	m.To = neko.ProcessID(int32(binary.BigEndian.Uint32(pkt[8:12])))
+	m.Seq = int64(binary.BigEndian.Uint64(pkt[12:20]))
+	m.SentAt = 0
+	m.Payload = append(m.Payload[:0], pkt[headerSize:headerSize+plen]...)
+	if plen == 0 {
+		// Keep the nil/empty distinction of the old decoder: a payload-less
+		// packet yields a nil payload, not a zero-length slice, unless the
+		// message already carries a reusable buffer.
+		if cap(m.Payload) == 0 {
+			m.Payload = nil
+		}
 	}
 	sent := int64(binary.BigEndian.Uint64(pkt[20:28]))
-	return m, sent, nil
+	return sent, nil
 }
 
 // timeSyncPayload carries the NTP exchange timestamps (Unix nanoseconds).

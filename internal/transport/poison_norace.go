@@ -1,0 +1,14 @@
+//go:build !race
+
+package transport
+
+import "wanfd/internal/neko"
+
+// raceEnabled reports whether the race-detector build (and its message
+// poisoning) is active.
+const raceEnabled = false
+
+// poison is a no-op outside race builds: recycled messages keep their
+// payload capacity so the warm pipeline stays allocation-free. DecodeInto
+// overwrites every field, so no reset is needed for correctness.
+func poison(*neko.Message) {}

@@ -1,0 +1,22 @@
+//go:build race
+
+package transport
+
+import "wanfd/internal/neko"
+
+// raceEnabled lets tests relax zero-allocation assertions that poisoning
+// deliberately breaks (nil'ing Payload forces a reallocation on reuse).
+const raceEnabled = true
+
+// poison overwrites a message with sentinel garbage before it is recycled.
+// A receiver that illegally retained the pointer will observe the
+// sentinels (and the race detector will flag the concurrent write),
+// turning a silent aliasing bug into a loud test failure.
+func poison(m *neko.Message) {
+	m.From = -999
+	m.To = -999
+	m.Type = 0xEF
+	m.Seq = -1 << 60
+	m.SentAt = -1 << 60
+	m.Payload = nil
+}

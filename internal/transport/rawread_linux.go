@@ -1,0 +1,126 @@
+//go:build linux
+
+package transport
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+
+	"wanfd/internal/neko"
+)
+
+// recvfromInet reads one datagram with MSG_DONTWAIT via the raw recvfrom
+// syscall. The stdlib's ReadFromUDPAddrPort is already allocation-free, but
+// it parks the goroutine in the netpoller on EAGAIN; the drain loop instead
+// wants EAGAIN surfaced so it can hand the whole batch onward and park
+// exactly once per wakeup. Source addresses are returned Unmap()ed
+// (v4-mapped-v6 normalized to v4) so they compare equal to the peer table
+// keys; IPv6 zone/scope ids are deliberately dropped — link-local peers are
+// out of scope for a WAN failure detector.
+func recvfromInet(fd int, p []byte) (int, netip.AddrPort, error) {
+	var rsa syscall.RawSockaddrAny
+	rsaLen := uint32(syscall.SizeofSockaddrAny)
+	nr, _, errno := syscall.Syscall6(syscall.SYS_RECVFROM,
+		uintptr(fd),
+		uintptr(unsafe.Pointer(&p[0])),
+		uintptr(len(p)),
+		uintptr(syscall.MSG_DONTWAIT),
+		uintptr(unsafe.Pointer(&rsa)),
+		uintptr(unsafe.Pointer(&rsaLen)))
+	if errno != 0 {
+		return 0, netip.AddrPort{}, errno
+	}
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&rsa))
+		pb := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		port := uint16(pb[0])<<8 | uint16(pb[1])
+		return int(nr), netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), port), nil
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&rsa))
+		pb := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		port := uint16(pb[0])<<8 | uint16(pb[1])
+		return int(nr), netip.AddrPortFrom(netip.AddrFrom16(sa.Addr).Unmap(), port), nil
+	}
+	// Unknown family: deliver with a zero source; the peer lookup will
+	// miss and the packet flows through unattributed, like the classic
+	// path does for unknown senders.
+	return int(nr), netip.AddrPort{}, nil
+}
+
+// drainLoop is the batched reader: park in the netpoller until the socket
+// is readable, then pull every queued datagram (up to maxDrainBatch) with
+// non-blocking reads, decode each into a pooled message, and run the batch
+// through processBatch under a single timestamp.
+func (n *UDPNetwork) drainLoop(conn *net.UDPConn) {
+	defer n.wg.Done()
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return
+	}
+	buf := make([]byte, maxPacketSize)
+	batch := make([]pending, 0, maxDrainBatch)
+	// stash holds pre-claimed pooled messages, refilled a whole batch at a
+	// time so the freelist pays one cursor reservation per drain cycle, not
+	// one per datagram. A message that fails to decode simply stays stashed.
+	stash := make([]*neko.Message, maxDrainBatch)
+	stashN := 0
+	bk := newShardBuckets()
+	for {
+		batch = batch[:0]
+		var fatal error
+		err := rc.Read(func(fd uintptr) bool {
+			for len(batch) < maxDrainBatch {
+				nb, src, serr := recvfromInet(int(fd), buf)
+				if serr == syscall.EAGAIN || serr == syscall.EWOULDBLOCK {
+					break
+				}
+				if serr == syscall.EINTR {
+					continue
+				}
+				if serr != nil {
+					fatal = serr
+					break
+				}
+				if stashN == 0 {
+					n.ingest.msgs.GetN(stash)
+					stashN = len(stash)
+				}
+				m := stash[stashN-1]
+				sentUnix, derr := DecodeInto(m, buf[:nb])
+				if derr != nil {
+					n.malformed.Add(1)
+					n.mDecodeErr.Inc()
+					continue
+				}
+				stashN--
+				batch = append(batch, pending{m: m, sentUnix: sentUnix, src: src})
+			}
+			// Returning false parks the goroutine until the next
+			// readiness event; anything drained (or a fatal error)
+			// must be surfaced first.
+			return len(batch) > 0 || fatal != nil
+		})
+		select {
+		case <-n.closed:
+			n.ingest.msgs.PutN(stash[:stashN])
+			n.releaseBatch(batch)
+			return
+		default:
+		}
+		if err != nil {
+			// The raw conn is unusable (socket closed under us).
+			n.ingest.msgs.PutN(stash[:stashN])
+			n.releaseBatch(batch)
+			return
+		}
+		n.processBatch(batch, bk)
+		if fatal != nil {
+			// Transient datagram-level errors (e.g. ICMP-induced) are
+			// survivable: keep serving.
+			continue
+		}
+	}
+}

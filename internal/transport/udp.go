@@ -3,10 +3,13 @@ package transport
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wanfd/internal/clock"
+	"wanfd/internal/freelist"
 	"wanfd/internal/neko"
 	"wanfd/internal/sched"
 	"wanfd/internal/sim"
@@ -24,6 +27,34 @@ type UDPConfig struct {
 	// Telemetry, when non-nil, receives live packet counters
 	// (sent/received/decode errors/drops). Nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Unbatched disables the batched zero-allocation ingest pipeline and
+	// restores the classic one-blocking-read, one-decode-allocation,
+	// direct-dispatch receive loop. The classic path is kept as the A/B
+	// baseline for BenchmarkIngest; see WithBatchedTransport.
+	Unbatched bool
+	// Readers is the number of reader sockets (and drain goroutines) the
+	// batched pipeline opens via SO_REUSEPORT; 0 or 1 means a single
+	// reader. Values above 1 are honoured only where SO_REUSEPORT is
+	// available (Linux) and are otherwise clamped to 1.
+	Readers int
+}
+
+// peerState is one registered peer: its transport identity plus the
+// estimated peer-minus-local clock offset (nanoseconds), stored atomically
+// so the receive path reads it without taking any lock.
+type peerState struct {
+	id     neko.ProcessID
+	ap     netip.AddrPort
+	offset atomic.Int64
+}
+
+// receiverBox caches the Attach-time interface assertions so the hot path
+// pays zero type switches: tr/br are non-nil when the receiver supports
+// timed or batched delivery.
+type receiverBox struct {
+	r  neko.Receiver
+	tr neko.TimedReceiver
+	br neko.BatchReceiver
 }
 
 // UDPNetwork implements neko.Network over a real UDP socket for exactly one
@@ -31,11 +62,20 @@ type UDPConfig struct {
 // sender, per the paper's NTP-synchronized time base) are mapped onto the
 // local run clock, after subtracting the peer clock offset estimated by
 // SyncWith.
+//
+// By default reception runs through the batched ingest pipeline (see
+// ingest.go): non-blocking drain loops pull every queued datagram per
+// readiness wakeup, decode into pooled messages, stamp each drained batch
+// with a single clock read, and hand per-shard batches to a consumer
+// goroutine over bounded lock-free rings — zero allocations and no
+// detector mutex on the drain path. UDPConfig.Unbatched restores the
+// classic per-packet loop.
 type UDPNetwork struct {
-	cfg   UDPConfig
-	conn  *net.UDPConn
-	epoch time.Time
-	clk   *sim.RealClock
+	cfg       UDPConfig
+	conn      *net.UDPConn
+	epoch     time.Time
+	epochNano int64
+	clk       *sim.RealClock
 	// timers schedules the endpoint's own deadlines (the SyncWith round
 	// timeout) on the shared timing wheel. Its driver goroutine is lazy:
 	// an endpoint that never syncs never starts it.
@@ -43,27 +83,38 @@ type UDPNetwork struct {
 
 	// peerMu guards the peer table, which is mutable at runtime (AddPeer/
 	// RemovePeer) so a cluster monitor can change membership without
-	// dropping the socket.
+	// dropping the socket. The batched drain loop takes the read lock once
+	// per batch, not once per packet.
 	peerMu sync.RWMutex
-	peers  map[neko.ProcessID]*net.UDPAddr
-	byAddr map[string]neko.ProcessID
+	peers  map[neko.ProcessID]*peerState
+	byAddr map[netip.AddrPort]*peerState
 
-	mu       sync.Mutex
-	receiver neko.Receiver
-	offsets  map[neko.ProcessID]time.Duration // estimated peer-minus-local clock offsets
+	receiver atomic.Pointer[receiverBox]
+	attached atomic.Bool
+
+	mu       sync.Mutex // guards the time-sync exchange state below
 	pending  map[int64]chan clock.Sample
 	nextSync int64
+
+	// bufs recycles egress packet buffers so Encode never allocates on the
+	// steady-state send path; the ingest side has its own message pool.
+	bufs *freelist.Pool[[]byte]
+
+	// ingest is the batched receive pipeline; nil when cfg.Unbatched.
+	ingest *ingestState
+	// extra are the SO_REUSEPORT reader sockets beyond conn.
+	extra []*net.UDPConn
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 
-	statsMu   sync.Mutex
-	sent      uint64
-	received  uint64
-	malformed uint64
+	sent       atomic.Uint64
+	received   atomic.Uint64
+	malformed  atomic.Uint64
+	sendErrors atomic.Uint64
 
 	// Live telemetry counters; each is nil (a no-op) without a registry.
-	mSent, mReceived, mDecodeErr, mDropped *telemetry.Counter
+	mSent, mReceived, mDecodeErr, mDropped, mSendErr *telemetry.Counter
 }
 
 // NewUDPNetwork opens the socket and starts the receive loop. Close must be
@@ -72,43 +123,49 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 	if cfg.Listen == "" {
 		return nil, fmt.Errorf("transport: missing listen address")
 	}
-	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
-	if err != nil {
-		return nil, fmt.Errorf("transport: resolve listen %q: %w", cfg.Listen, err)
-	}
-	peers := make(map[neko.ProcessID]*net.UDPAddr, len(cfg.Peers))
-	byAddr := make(map[string]neko.ProcessID, len(cfg.Peers))
+	peers := make(map[neko.ProcessID]*peerState, len(cfg.Peers))
+	byAddr := make(map[netip.AddrPort]*peerState, len(cfg.Peers))
 	for id, addr := range cfg.Peers {
 		a, err := net.ResolveUDPAddr("udp", addr)
 		if err != nil {
 			return nil, fmt.Errorf("transport: resolve peer %d %q: %w", id, addr, err)
 		}
-		peers[id] = a
-		byAddr[a.String()] = id
+		ps := &peerState{id: id, ap: unmapAP(a.AddrPort())}
+		peers[id] = ps
+		byAddr[ps.ap] = ps
 	}
-	conn, err := net.ListenUDP("udp", laddr)
+	batched := !cfg.Unbatched
+	conn, err := listenUDP(cfg.Listen, batched)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", cfg.Listen, err)
 	}
 	clk := sim.NewRealClock()
 	n := &UDPNetwork{
-		cfg:     cfg,
-		conn:    conn,
-		peers:   peers,
-		byAddr:  byAddr,
-		epoch:   clk.Epoch(),
-		clk:     clk,
-		timers:  sched.NewWheel(sched.Config{Clock: clk}),
-		offsets: make(map[neko.ProcessID]time.Duration),
-		pending: make(map[int64]chan clock.Sample),
-		closed:  make(chan struct{}),
+		cfg:       cfg,
+		conn:      conn,
+		peers:     peers,
+		byAddr:    byAddr,
+		epoch:     clk.Epoch(),
+		epochNano: clk.Epoch().UnixNano(),
+		clk:       clk,
+		timers:    sched.NewWheel(sched.Config{Clock: clk}),
+		pending:   make(map[int64]chan clock.Sample),
+		closed:    make(chan struct{}),
+		bufs: freelist.NewPool(sendBufPoolCap, func() []byte {
+			return make([]byte, 0, maxPacketSize)
+		}),
 	}
 	if tm := cfg.Telemetry.TransportMetrics(); tm != nil {
 		n.mSent, n.mReceived = tm.Sent, tm.Received
 		n.mDecodeErr, n.mDropped = tm.DecodeErrors, tm.Dropped
+		n.mSendErr = tm.SendErrors
 	}
-	n.wg.Add(1)
-	go n.readLoop()
+	if batched {
+		n.startIngest()
+	} else {
+		n.wg.Add(1)
+		go n.readLoop()
+	}
 	return n, nil
 }
 
@@ -124,6 +181,9 @@ func (n *UDPNetwork) WallTime() time.Time { return n.clk.WallTime() }
 // wallNano is WallTime as Unix nanoseconds, the unit the wire format and
 // the NTP-style sync exchange carry.
 func (n *UDPNetwork) wallNano() int64 { return n.clk.WallTime().UnixNano() }
+
+// Batched reports whether the endpoint runs the batched ingest pipeline.
+func (n *UDPNetwork) Batched() bool { return n.ingest != nil }
 
 // LocalAddr returns the bound UDP address.
 func (n *UDPNetwork) LocalAddr() *net.UDPAddr {
@@ -141,17 +201,18 @@ func (n *UDPNetwork) AddPeer(id neko.ProcessID, addr string) error {
 	if err != nil {
 		return fmt.Errorf("transport: resolve peer %d %q: %w", id, addr, err)
 	}
-	key := a.String()
+	ap := unmapAP(a.AddrPort())
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
 	if _, dup := n.peers[id]; dup {
 		return fmt.Errorf("transport: peer %d already registered", id)
 	}
-	if other, dup := n.byAddr[key]; dup {
-		return fmt.Errorf("transport: address %s already registered as peer %d", a, other)
+	if other, dup := n.byAddr[ap]; dup {
+		return fmt.Errorf("transport: address %s already registered as peer %d", ap, other.id)
 	}
-	n.peers[id] = a
-	n.byAddr[key] = id
+	ps := &peerState{id: id, ap: ap}
+	n.peers[id] = ps
+	n.byAddr[ap] = ps
 	return nil
 }
 
@@ -160,15 +221,12 @@ func (n *UDPNetwork) AddPeer(id neko.ProcessID, addr string) error {
 func (n *UDPNetwork) RemovePeer(id neko.ProcessID) error {
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
-	a, ok := n.peers[id]
+	ps, ok := n.peers[id]
 	if !ok {
 		return fmt.Errorf("transport: unknown peer %d", id)
 	}
 	delete(n.peers, id)
-	delete(n.byAddr, a.String())
-	n.mu.Lock()
-	delete(n.offsets, id)
-	n.mu.Unlock()
+	delete(n.byAddr, ps.ap)
 	return nil
 }
 
@@ -179,20 +237,21 @@ func (n *UDPNetwork) Peers() int {
 	return len(n.peers)
 }
 
-// peerAddr looks up a peer's address.
-func (n *UDPNetwork) peerAddr(id neko.ProcessID) (*net.UDPAddr, bool) {
+// peerByID looks up a peer's state.
+func (n *UDPNetwork) peerByID(id neko.ProcessID) (*peerState, bool) {
 	n.peerMu.RLock()
 	defer n.peerMu.RUnlock()
-	a, ok := n.peers[id]
-	return a, ok
+	ps, ok := n.peers[id]
+	return ps, ok
 }
 
-// peerID looks up the peer registered at a source address.
-func (n *UDPNetwork) peerID(addr string) (neko.ProcessID, bool) {
+// peerByAddr looks up the peer registered at a source address. The address
+// must already be Unmap()ed.
+func (n *UDPNetwork) peerByAddr(ap netip.AddrPort) (*peerState, bool) {
 	n.peerMu.RLock()
 	defer n.peerMu.RUnlock()
-	id, ok := n.byAddr[addr]
-	return id, ok
+	ps, ok := n.byAddr[ap]
+	return ps, ok
 }
 
 // Attach implements neko.Network for the configured local process.
@@ -203,12 +262,13 @@ func (n *UDPNetwork) Attach(id neko.ProcessID, r neko.Receiver) (neko.Sender, er
 	if r == nil {
 		return nil, fmt.Errorf("transport: nil receiver")
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.receiver != nil {
+	if !n.attached.CompareAndSwap(false, true) {
 		return nil, fmt.Errorf("transport: process %d attached twice", id)
 	}
-	n.receiver = r
+	box := &receiverBox{r: r}
+	box.tr, _ = r.(neko.TimedReceiver)
+	box.br, _ = r.(neko.BatchReceiver)
+	n.receiver.Store(box)
 	return udpSender{n: n}, nil
 }
 
@@ -217,31 +277,42 @@ type udpSender struct{ n *UDPNetwork }
 func (s udpSender) Send(m *neko.Message) { s.n.send(m) }
 
 func (n *UDPNetwork) send(m *neko.Message) {
-	addr, ok := n.peerAddr(m.To)
+	ps, ok := n.peerByID(m.To)
 	if !ok {
 		n.mDropped.Inc()
 		return
 	}
 	// Map the run-clock SentAt to the wall clock for the wire.
-	sentUnix := n.epoch.Add(m.SentAt).UnixNano()
-	buf, err := Encode(nil, m, sentUnix)
+	sentUnix := n.epochNano + int64(m.SentAt)
+	buf := n.bufs.Get()
+	out, err := Encode(buf, m, sentUnix)
 	if err != nil {
+		// An unencodable message (oversized payload) is a sender bug;
+		// count it rather than dropping it on the floor.
+		n.sendErrors.Add(1)
+		n.mSendErr.Inc()
+		n.bufs.Put(buf[:0])
 		return
 	}
-	if _, err := n.conn.WriteToUDP(buf, addr); err != nil {
+	nw, err := n.conn.WriteToUDPAddrPort(out, ps.ap)
+	if err != nil || nw < len(out) {
+		n.sendErrors.Add(1)
+		n.mSendErr.Inc()
+		n.bufs.Put(out[:0])
 		return
 	}
-	n.statsMu.Lock()
-	n.sent++
-	n.statsMu.Unlock()
+	n.bufs.Put(out[:0])
+	n.sent.Add(1)
 	n.mSent.Inc()
 }
 
+// readLoop is the classic (unbatched) receive path: one blocking read, one
+// decode allocation and one direct dispatch per packet.
 func (n *UDPNetwork) readLoop() {
 	defer n.wg.Done()
 	buf := make([]byte, maxPacketSize)
 	for {
-		nb, raddr, err := n.conn.ReadFromUDP(buf)
+		nb, src, err := n.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
 			case <-n.closed:
@@ -251,11 +322,10 @@ func (n *UDPNetwork) readLoop() {
 			// Transient read error: keep serving.
 			continue
 		}
-		m, sentUnix, err := Decode(buf[:nb])
+		m := &neko.Message{}
+		sentUnix, err := DecodeInto(m, buf[:nb])
 		if err != nil {
-			n.statsMu.Lock()
-			n.malformed++
-			n.statsMu.Unlock()
+			n.malformed.Add(1)
 			n.mDecodeErr.Inc()
 			continue
 		}
@@ -263,16 +333,16 @@ func (n *UDPNetwork) readLoop() {
 		// peer: addresses are authoritative over the self-reported From
 		// field, so several remote heartbeaters can coexist without
 		// coordinating process ids.
-		if raddr != nil {
-			if id, ok := n.peerID(raddr.String()); ok {
-				m.From = id
-			}
+		var offset int64
+		if ps, ok := n.peerByAddr(unmapAP(src)); ok {
+			m.From = ps.id
+			offset = ps.offset.Load()
 		}
-		n.dispatch(m, sentUnix)
+		n.dispatch(m, sentUnix, offset)
 	}
 }
 
-func (n *UDPNetwork) dispatch(m *neko.Message, sentUnix int64) {
+func (n *UDPNetwork) dispatch(m *neko.Message, sentUnix, offset int64) {
 	now := n.clk.Now()
 	switch m.Type {
 	case MsgTimeReq:
@@ -282,22 +352,21 @@ func (n *UDPNetwork) dispatch(m *neko.Message, sentUnix int64) {
 		n.handleTimeResp(m, now)
 		return
 	}
-	n.mu.Lock()
-	offset := n.offsets[m.From]
-	r := n.receiver
-	n.mu.Unlock()
-	if r == nil {
+	box := n.receiver.Load()
+	if box == nil {
 		n.mDropped.Inc()
 		return
 	}
 	// Map the sender's wall-clock timestamp onto the local run clock,
 	// correcting the estimated peer clock offset.
-	m.SentAt = time.Duration(sentUnix-n.epoch.UnixNano()) - offset
-	n.statsMu.Lock()
-	n.received++
-	n.statsMu.Unlock()
+	m.SentAt = time.Duration(sentUnix - n.epochNano - offset)
+	n.received.Add(1)
 	n.mReceived.Inc()
-	r.Receive(m)
+	if box.tr != nil {
+		box.tr.ReceiveAt(m, now)
+		return
+	}
+	box.r.Receive(m)
 }
 
 // handleTimeReq answers an NTP-style exchange: echo T1, add our receive
@@ -314,7 +383,7 @@ func (n *UDPNetwork) handleTimeReq(m *neko.Message) {
 		Type: MsgTimeResp,
 		Seq:  m.Seq,
 	}
-	addr, ok := n.peerAddr(m.From)
+	ps, ok := n.peerByID(m.From)
 	if !ok {
 		return
 	}
@@ -323,7 +392,10 @@ func (n *UDPNetwork) handleTimeReq(m *neko.Message) {
 	if err != nil {
 		return
 	}
-	_, _ = n.conn.WriteToUDP(buf, addr)
+	if _, err := n.conn.WriteToUDPAddrPort(buf, ps.ap); err != nil {
+		n.sendErrors.Add(1)
+		n.mSendErr.Inc()
+	}
 }
 
 func (n *UDPNetwork) handleTimeResp(m *neko.Message, _ time.Duration) {
@@ -354,7 +426,7 @@ func (n *UDPNetwork) handleTimeResp(m *neko.Message, _ time.Duration) {
 // it for inbound timestamp correction, and returns it. Rounds that time out
 // are skipped; at least one successful round is required.
 func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Duration) (time.Duration, error) {
-	addr, ok := n.peerAddr(peer)
+	ps, ok := n.peerByID(peer)
 	if !ok {
 		return 0, fmt.Errorf("transport: unknown peer %d", peer)
 	}
@@ -386,7 +458,7 @@ func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Dura
 		if err != nil {
 			return 0, err
 		}
-		if _, err := n.conn.WriteToUDP(buf, addr); err != nil {
+		if _, err := n.conn.WriteToUDPAddrPort(buf, ps.ap); err != nil {
 			return 0, fmt.Errorf("transport: sync send: %w", err)
 		}
 		timedOut := make(chan struct{})
@@ -411,27 +483,29 @@ func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Dura
 	if err != nil {
 		return 0, err
 	}
-	n.mu.Lock()
-	n.offsets[peer] = off
-	n.mu.Unlock()
+	ps.offset.Store(int64(off))
 	return off, nil
 }
 
 // Offset returns the clock offset currently applied to the peer's inbound
 // timestamps (0 before SyncWith).
 func (n *UDPNetwork) Offset(peer neko.ProcessID) time.Duration {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.offsets[peer]
+	ps, ok := n.peerByID(peer)
+	if !ok {
+		return 0
+	}
+	return time.Duration(ps.offset.Load())
 }
 
 // Stats reports packets sent, valid packets received, and malformed packets
 // discarded.
 func (n *UDPNetwork) Stats() (sent, received, malformed uint64) {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	return n.sent, n.received, n.malformed
+	return n.sent.Load(), n.received.Load(), n.malformed.Load()
 }
+
+// SendErrors reports messages lost on the egress path: unencodable
+// messages, write errors and short writes.
+func (n *UDPNetwork) SendErrors() uint64 { return n.sendErrors.Load() }
 
 // Close shuts down the receive loop and releases the socket.
 func (n *UDPNetwork) Close() error {
@@ -443,6 +517,9 @@ func (n *UDPNetwork) Close() error {
 	close(n.closed)
 	n.timers.Close()
 	err := n.conn.Close()
+	for _, c := range n.extra {
+		_ = c.Close()
+	}
 	n.wg.Wait()
 	return err
 }

@@ -175,6 +175,7 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		LocalID:   multiMonitorID,
 		Listen:    listen,
 		Telemetry: o.telemetry,
+		Unbatched: o.batchedOff,
 	})
 	if err != nil {
 		return nil, err

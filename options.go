@@ -43,6 +43,9 @@ type options struct {
 	// legacy ListenAndMonitorMany path, which builds options directly)
 	// keeps the timing wheel enabled by default.
 	timerWheelOff bool
+	// batchedOff is inverted for the same reason: the zero value keeps the
+	// batched ingest pipeline enabled by default.
+	batchedOff bool
 }
 
 // peerSpec is one initial cluster member.
@@ -183,6 +186,19 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // use.
 func WithTimerWheel(enabled bool) Option {
 	return func(o *options) { o.timerWheelOff = !enabled }
+}
+
+// WithBatchedTransport enables or disables the batched zero-allocation
+// ingest pipeline of the UDP transport (default enabled). With batching
+// on, the receive path drains every queued datagram per socket wakeup into
+// pooled messages, stamps the batch with a single clock reading (DESIGN.md
+// §10 bounds the skew), and hands per-shard batches to the router over
+// bounded lock-free rings — zero steady-state allocations and explicit
+// overflow drops instead of backpressure. Disabling it restores the
+// classic blocking read / allocate / dispatch loop; the fallback exists
+// for A/B measurement (see BenchmarkIngest), not production use.
+func WithBatchedTransport(enabled bool) Option {
+	return func(o *options) { o.batchedOff = !enabled }
 }
 
 // rejectMonitorOnly returns an error when o carries options a cluster

@@ -104,6 +104,7 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 		Listen:    listen,
 		Peers:     map[neko.ProcessID]string{udpHeartbeaterID: remote},
 		Telemetry: o.telemetry,
+		Unbatched: o.batchedOff,
 	})
 	if err != nil {
 		return nil, err
