@@ -21,12 +21,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Allocation-regression gate for the batched ingest pipeline: runs the
-# ingest benchmarks and fails if any benchmark recorded at 0 allocs/op in
-# BENCH_ingest.json allocates at all, or a non-zero baseline regresses by
-# more than 5%. Wall-clock is reported but never gated (CI noise).
+# Allocation-regression gates for the batched transport pipelines: run
+# the ingest and egress benchmarks and fail if any benchmark recorded at
+# 0 allocs/op in its baseline (BENCH_ingest.json / BENCH_egress.json)
+# allocates at all, or a non-zero baseline regresses by more than 5%.
+# Wall-clock is reported but never gated (CI noise).
 benchguard:
 	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_ingest.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEgress|BenchmarkPipeline100k' -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_egress.json
 
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"

@@ -177,6 +177,14 @@ func benchPeerNames(n int) []string {
 	return names
 }
 
+// benchPeerAddr gives peer i a unique loopback endpoint. Addresses walk
+// the 127.0.0.0/8 block on a fixed port instead of walking ports on
+// 127.0.0.1: the port space tops out around 45k peers, the loopback block
+// comfortably holds the 100k-peer configurations.
+func benchPeerAddr(i int) string {
+	return fmt.Sprintf("127.%d.%d.%d:20001", 1+(i>>16), (i>>8)&0xff, i&0xff)
+}
+
 // runReceiveBench measures the receive path: one op is attributing and
 // dispatching one heartbeat to its peer's detector, round-robin over the
 // 1024 members. In the flapping scenario a background goroutine joins and
@@ -258,7 +266,7 @@ func BenchmarkCluster1k(b *testing.B) {
 			h := shardedHarness{mm: mm}
 			defer h.close()
 			for i, name := range names {
-				if err := mm.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 20001+i)); err != nil {
+				if err := mm.AddPeer(name, benchPeerAddr(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -277,7 +285,7 @@ func BenchmarkCluster1k(b *testing.B) {
 			h := shardedHarness{mm: mm}
 			defer h.close()
 			for i, name := range names {
-				if err := mm.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 20001+i)); err != nil {
+				if err := mm.AddPeer(name, benchPeerAddr(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -287,14 +295,14 @@ func BenchmarkCluster1k(b *testing.B) {
 		// back to stop-and-recreate time.AfterFunc deadlines, the scheduler
 		// the wheel replaced. Kept as the A/B baseline for BENCH_sched.json.
 		b.Run(sc.name+"/sharded-afterfunc", func(b *testing.B) {
-			mm, err := NewMultiMonitor("127.0.0.1:0", WithTimerWheel(false))
+			mm, err := NewMultiMonitor("127.0.0.1:0", WithPipeline(PipelineConfig{DisableTimerWheel: true}))
 			if err != nil {
 				b.Fatal(err)
 			}
 			h := shardedHarness{mm: mm}
 			defer h.close()
 			for i, name := range names {
-				if err := mm.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 20001+i)); err != nil {
+				if err := mm.AddPeer(name, benchPeerAddr(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -304,7 +312,7 @@ func BenchmarkCluster1k(b *testing.B) {
 			c := newSingleMapCluster(resolveOptions(nil))
 			defer c.close()
 			for i, name := range names {
-				if err := c.addPeer(name, fmt.Sprintf("127.0.0.1:%d", 20001+i)); err != nil {
+				if err := c.addPeer(name, benchPeerAddr(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -322,7 +330,7 @@ const benchCluster10kPeers = 10240
 // re-arms the sender's deadline, so at 10240 peers the scheduler is the
 // hot path. The default build re-arms in place on the 16 shard timing
 // wheels (O(1) unlink/relink, no allocation, at most one lazy driver
-// goroutine per shard); the WithTimerWheel(false) baseline is the
+// goroutine per shard); the DisableTimerWheel baseline is the
 // stop-and-recreate time.AfterFunc path the detectors used before the
 // wheels existed, paying a runtime-timer allocation and heap reshuffle
 // per heartbeat. The goroutines metric is sampled at steady state, with
@@ -334,7 +342,7 @@ func BenchmarkCluster10k(b *testing.B) {
 		opts []Option
 	}{
 		{"wheel", nil},
-		{"afterfunc", []Option{WithTimerWheel(false)}},
+		{"afterfunc", []Option{WithPipeline(PipelineConfig{DisableTimerWheel: true})}},
 	} {
 		sc := sc
 		b.Run(sc.name, func(b *testing.B) {
@@ -345,7 +353,7 @@ func BenchmarkCluster10k(b *testing.B) {
 			h := shardedHarness{mm: mm}
 			defer h.close()
 			for i, name := range names {
-				if err := mm.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 20001+i)); err != nil {
+				if err := mm.AddPeer(name, benchPeerAddr(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -356,4 +364,32 @@ func BenchmarkCluster10k(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchCluster100kPeers sizes the scale configuration: 100k monitored
+// peers, the tentpole target of the batched transport pipelines. Only the
+// wheel/batched builds run at this size — the classic per-peer baselines
+// exist at 1k/10k where their cost is already measured.
+const benchCluster100kPeers = 102400
+
+// BenchmarkCluster100k drives the dispatch + deadline-re-arm path at 100k
+// members on the shard wheels. The timers metric confirms every member's
+// deadline stays armed; goroutines confirms the scheduling footprint stays
+// O(shards), not O(peers).
+func BenchmarkCluster100k(b *testing.B) {
+	names := benchPeerNames(benchCluster100kPeers)
+	mm, err := NewMultiMonitor("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := shardedHarness{mm: mm}
+	defer h.close()
+	for i, name := range names {
+		if err := mm.AddPeer(name, benchPeerAddr(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runReceiveBench(b, h, benchCluster100kPeers, false)
+	st := mm.SchedulerStats()
+	b.ReportMetric(float64(st.Timers), "timers")
 }

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	fdheartbeat -listen :7008 -remote host:7007 -eta 1s
+//
+// With -remotes, one process heartbeats several monitors at once from a
+// single socket: each monitor gets its own η-grid, phase-staggered across
+// the interval, and the grids drain through the transport's batched
+// egress pipeline (one sendmmsg per flush on linux) instead of one write
+// syscall per monitor per cycle:
+//
+//	fdheartbeat -listen :7008 -remotes hostA:7007,hostB:7007 -eta 1s
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,24 +37,36 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", ":7008", "local UDP address")
-		remote = flag.String("remote", "", "monitor UDP address (required)")
-		eta    = flag.Duration("eta", time.Second, "heartbeat period")
+		listen  = flag.String("listen", ":7008", "local UDP address")
+		remote  = flag.String("remote", "", "monitor UDP address")
+		remotes = flag.String("remotes", "", "comma-separated additional monitor addresses (batched fan-out)")
+		eta     = flag.Duration("eta", time.Second, "heartbeat period")
 	)
 	flag.Parse()
-	if *remote == "" {
-		return fmt.Errorf("-remote is required")
+	var extra []string
+	for _, r := range strings.Split(*remotes, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			extra = append(extra, r)
+		}
+	}
+	if *remote == "" && len(extra) == 0 {
+		return fmt.Errorf("-remote or -remotes is required")
 	}
 	hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{
-		Listen: *listen,
-		Remote: *remote,
-		Eta:    *eta,
+		Listen:  *listen,
+		Remote:  *remote,
+		Remotes: extra,
+		Eta:     *eta,
 	})
 	if err != nil {
 		return err
 	}
 	defer hb.Close()
-	fmt.Printf("heartbeating to %s every %v from %s\n", *remote, *eta, hb.LocalAddr())
+	targets := len(extra)
+	if *remote != "" {
+		targets++
+	}
+	fmt.Printf("heartbeating to %d monitor(s) every %v from %s\n", targets, *eta, hb.LocalAddr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

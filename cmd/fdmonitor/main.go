@@ -63,7 +63,7 @@ func run() error {
 		accrual   = flag.Float64("accrual", 0, "use a φ-accrual detector at this threshold instead of predictor+margin (0 = off, single-peer mode)")
 		stats     = flag.Duration("stats", 10*time.Second, "statistics print interval (0 disables)")
 		events    = flag.Int("events", 512, "suspicion transitions kept for GET /events")
-		batched   = flag.Bool("batched", true, "use the batched zero-allocation ingest pipeline (false = classic per-packet receive loop)")
+		batched   = flag.Bool("batched", true, "use the batched transport pipelines (false = classic per-datagram A/B baseline)")
 	)
 	flag.Parse()
 	switch {
@@ -140,6 +140,14 @@ func singleHandler(mon *wanfd.Monitor, remote string, clk *sim.RealClock, reg *t
 	return mux
 }
 
+// transportMode maps the -batched flag onto the transport-mode axis.
+func transportMode(batched bool) wanfd.TransportMode {
+	if batched {
+		return wanfd.TransportBatched
+	}
+	return wanfd.TransportClassic
+}
+
 func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration, batched bool, reg *telemetry.Registry) error {
 	clk := sim.NewRealClock()
 	stamp := func(elapsed time.Duration) string {
@@ -156,7 +164,7 @@ func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, ma
 		wanfd.WithOnTrust(func(at time.Duration) {
 			fmt.Printf("%s TRUST     (after %v)\n", stamp(at), at.Round(time.Millisecond))
 		}),
-		wanfd.WithBatchedTransport(batched),
+		wanfd.WithTransportMode(transportMode(batched)),
 	}
 	if accrual > 0 {
 		opts = append(opts, wanfd.WithAccrualThreshold(accrual))
@@ -263,7 +271,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 			}
 			fmt.Printf("%s %s %s\n", clk.Epoch().Add(at).Format("15:04:05.000"), state, peer)
 		}),
-		wanfd.WithBatchedTransport(batched),
+		wanfd.WithTransportMode(transportMode(batched)),
 	}
 	for _, p := range peers {
 		opts = append(opts, wanfd.WithPeer(p[0], p[1]))

@@ -190,15 +190,6 @@ func (d *Detector) Name() string { return d.det.Name() }
 // DetectorStats returns a snapshot of the lifetime counters.
 func (d *Detector) DetectorStats() DetectorStats { return d.det.DetectorStats() }
 
-// Stats reports heartbeats processed, stale (reordered or duplicate)
-// heartbeats, and suspicion episodes started.
-//
-// Deprecated: use DetectorStats, which names the counters.
-func (d *Detector) Stats() (heartbeats, stale, suspicions uint64) {
-	s := d.DetectorStats()
-	return s.Heartbeats, s.Stale, s.Suspicions
-}
-
 // Stop cancels the detector's pending timer.
 func (d *Detector) Stop() { d.det.Stop() }
 

@@ -101,7 +101,7 @@ func TestExactDiagnostics(t *testing.T) {
 			{"unitcheck.go", 9}, {"unitcheck.go", 17}, {"unitcheck.go", 21},
 		}},
 		{"deprecated", []loc{
-			{"deprecated.go", 25}, {"deprecated.go", 29},
+			{"deprecated.go", 25}, {"deprecated.go", 29}, {"deprecated.go", 57},
 		}},
 	}
 	for _, tc := range cases {

@@ -25,3 +25,15 @@ func constantsAreFine() time.Duration {
 func directiveSuppresses() time.Time {
 	return time.Now() //fdlint:ignore clockuse epoch establishment is the one sanctioned read
 }
+
+// clock mirrors the injected scheduler clock the transport egress
+// pipeline uses for its flush-interval deadlines.
+type clock interface{ Now() time.Duration }
+
+type egress struct{ clk clock }
+
+// flushDeadline mirrors egress flush-interval arming: deadlines come from
+// the injected clock, never from a direct wall-clock read.
+func (e *egress) flushDeadline() time.Duration {
+	return e.clk.Now() + 2*time.Millisecond // sanctioned: injected clock
+}

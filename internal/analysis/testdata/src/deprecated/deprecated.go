@@ -32,3 +32,27 @@ func freeCaller(d *detector) (uint64, uint64) {
 func fine(d *detector) (uint64, uint64) {
 	return d.DetectorStats()
 }
+
+// config mirrors the options struct that shimmed functional options
+// mutate.
+type config struct{ classic bool }
+
+// option mirrors wanfd's functional-option type.
+type option func(*config)
+
+// WithTransportMode is the replacement axis for the accreted boolean
+// options.
+func WithTransportMode(classic bool) option {
+	return func(c *config) { c.classic = classic }
+}
+
+// WithBatchedTransport toggles the batched pipelines.
+//
+// Deprecated: use WithTransportMode.
+func WithBatchedTransport(enabled bool) option {
+	return func(c *config) { c.classic = !enabled }
+}
+
+func optionCaller() option {
+	return WithBatchedTransport(false) // violation: deprecated option shim
+}

@@ -78,3 +78,21 @@ func (d *detector) unlockedOpsAreFine(v float64) {
 	d.hist.Observe(v)
 	time.Sleep(time.Millisecond)
 }
+
+type egress struct {
+	peerMu sync.RWMutex
+	peers  map[int]int
+	conn   net.Conn
+}
+
+// resolveThenFlush mirrors the transport egress pipeline: a whole batch's
+// destinations resolve under one read-lock acquisition (map reads only),
+// and the send syscall runs after the lock is released.
+func (e *egress) resolveThenFlush(ids []int, dst []int, buf []byte) {
+	e.peerMu.RLock()
+	for i, id := range ids {
+		dst[i] = e.peers[id] // fine: map read under RLock
+	}
+	e.peerMu.RUnlock()
+	e.conn.Write(buf) // fine: I/O after release
+}

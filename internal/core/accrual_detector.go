@@ -204,15 +204,6 @@ func (d *AccrualDetector) DetectorStats() DetectorStats {
 	return DetectorStats{Heartbeats: d.heartbeats, Stale: d.stale, Suspicions: d.suspicions}
 }
 
-// Stats reports heartbeats processed, stale heartbeats, and suspicion
-// episodes.
-//
-// Deprecated: use DetectorStats, which names the counters.
-func (d *AccrualDetector) Stats() (heartbeats, stale, suspicions uint64) {
-	s := d.DetectorStats()
-	return s.Heartbeats, s.Stale, s.Suspicions
-}
-
 // probit is the standard normal quantile function (inverse CDF), computed
 // with Acklam's rational approximation (relative error < 1.15e-9) plus one
 // Halley refinement step.

@@ -105,11 +105,11 @@ func TestAccrualDetectorLifecycle(t *testing.T) {
 	if d.Suspected() {
 		t.Error("still suspected after recovery heartbeat")
 	}
-	hb, stale, susp := d.Stats()
-	if hb != 61 || stale != 0 {
-		t.Errorf("heartbeats/stale = %d/%d, want 61/0", hb, stale)
+	st := d.DetectorStats()
+	if st.Heartbeats != 61 || st.Stale != 0 {
+		t.Errorf("heartbeats/stale = %d/%d, want 61/0", st.Heartbeats, st.Stale)
 	}
-	if susp != 1 {
+	if susp := st.Suspicions; susp != 1 {
 		t.Errorf("suspicions = %d, want 1", susp)
 	}
 	if len(l.events) != 2 || !l.events[0].suspect || l.events[1].suspect {
@@ -160,8 +160,7 @@ func TestAccrualDetectorStaleIgnored(t *testing.T) {
 	}
 	d.OnHeartbeat(5, 0, time.Second)
 	d.OnHeartbeat(3, 0, 2*time.Second) // stale
-	_, stale, _ := d.Stats()
-	if stale != 1 {
+	if stale := d.DetectorStats().Stale; stale != 1 {
 		t.Errorf("stale = %d, want 1", stale)
 	}
 	d.Stop()

@@ -321,15 +321,6 @@ func (d *Detector) DetectorStats() DetectorStats {
 	return DetectorStats{Heartbeats: d.heartbeats, Stale: d.stale, Suspicions: d.suspicions}
 }
 
-// Stats reports the number of heartbeats processed, how many were stale
-// (reordered/duplicate), and how many suspicion episodes started.
-//
-// Deprecated: use DetectorStats, which names the counters.
-func (d *Detector) Stats() (heartbeats, stale, suspicions uint64) {
-	s := d.DetectorStats()
-	return s.Heartbeats, s.Stale, s.Suspicions
-}
-
 func durToMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func msToDur(ms float64) time.Duration {

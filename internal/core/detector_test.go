@@ -102,9 +102,9 @@ func TestDetectorSteadyStreamNeverSuspects(t *testing.T) {
 	if len(l.events) != 0 {
 		t.Errorf("events = %v, want none", l.events)
 	}
-	hb, stale, susp := d.Stats()
-	if hb != 20 || stale != 0 || susp != 0 {
-		t.Errorf("stats = %d/%d/%d, want 20/0/0", hb, stale, susp)
+	st := d.DetectorStats()
+	if st.Heartbeats != 20 || st.Stale != 0 || st.Suspicions != 0 {
+		t.Errorf("stats = %d/%d/%d, want 20/0/0", st.Heartbeats, st.Stale, st.Suspicions)
 	}
 	d.Stop()
 }
@@ -173,9 +173,9 @@ func TestDetectorStaleHeartbeatDoesNotRegressFreshness(t *testing.T) {
 	if err := eng.Run(3 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	hb, stale, _ := d.Stats()
-	if hb != 3 || stale != 1 {
-		t.Errorf("heartbeats/stale = %d/%d, want 3/1", hb, stale)
+	st := d.DetectorStats()
+	if st.Heartbeats != 3 || st.Stale != 1 {
+		t.Errorf("heartbeats/stale = %d/%d, want 3/1", st.Heartbeats, st.Stale)
 	}
 	// The gap between seq 0's freshness point (1.15s) and seq 2's arrival
 	// (2.1s) is a genuine mistake; the late seq 1 at 2.2s must not add any
@@ -250,8 +250,7 @@ func TestDetectorOverdueArrivalKeepsSuspicion(t *testing.T) {
 	if len(l.events) != 1 || !l.events[0].suspect {
 		t.Errorf("events = %v, want a single uninterrupted suspicion", l.events)
 	}
-	_, _, susp := d.Stats()
-	if susp != 1 {
+	if susp := d.DetectorStats().Suspicions; susp != 1 {
 		t.Errorf("suspicions = %d, want 1", susp)
 	}
 }

@@ -105,8 +105,7 @@ func TestDetectorTortureRandomSchedules(t *testing.T) {
 				wantSusp++
 			}
 		}
-		_, _, susp := det.Stats()
-		if susp != wantSusp {
+		if susp := det.DetectorStats().Suspicions; susp != wantSusp {
 			t.Fatalf("suspicion counter %d != %d suspect events", susp, wantSusp)
 		}
 		// Final Suspected() matches the last event (or false if none).
@@ -192,8 +191,7 @@ func TestDetectorConcurrentHeartbeats(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	hb, _, _ := det.Stats()
-	if hb != workers*perWorker {
+	if hb := det.DetectorStats().Heartbeats; hb != workers*perWorker {
 		t.Errorf("heartbeats = %d, want %d", hb, workers*perWorker)
 	}
 }

@@ -35,6 +35,13 @@ const (
 	MetricIngestRingDepth  = "wanfd_ingest_ring_occupancy"
 	MetricIngestPoolMisses = "wanfd_ingest_pool_misses_total"
 
+	MetricEgressBatchSize     = "wanfd_egress_batch_size"
+	MetricEgressFlushes       = "wanfd_egress_flushes_total"
+	MetricEgressSyscallsSaved = "wanfd_egress_syscalls_saved_total"
+	MetricEgressRingDrops     = "wanfd_egress_ring_drops_total"
+	MetricEgressRingDepth     = "wanfd_egress_ring_occupancy"
+	MetricEgressSendErrors    = "wanfd_egress_send_errors_total"
+
 	MetricRouterDispatch  = "wanfd_router_dispatch_total"
 	MetricRouterUnrouted  = "wanfd_router_unrouted_total"
 	MetricRouterContended = "wanfd_router_shard_contended_total"

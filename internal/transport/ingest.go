@@ -211,7 +211,7 @@ func (n *UDPNetwork) processBatch(batch []pending, bk *shardBuckets) {
 
 	n.peerMu.RLock()
 	for i := range batch {
-		if ps, ok := n.byAddr[batch[i].src]; ok {
+		if ps, ok := n.lookupAddrLocked(batch[i].src); ok {
 			batch[i].m.From = ps.id
 			batch[i].off = ps.offset.Load()
 		}

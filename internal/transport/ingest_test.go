@@ -360,13 +360,40 @@ func (c countRecv) Receive(*neko.Message) { *c.n++ }
 
 func (c countRecv) ReceiveBatch(ms []*neko.Message, _ time.Duration) { *c.n += len(ms) }
 
-// TestSendZeroAlloc pins the egress half: encoding into a pooled buffer
-// and writing via WriteToUDPAddrPort allocates nothing per send.
+// classicEgressPair builds two connected endpoints with the batched
+// egress pipeline disabled: sends are synchronous, so the zero-alloc and
+// accounting pins below can assert immediately after Send returns. The
+// batched pipeline has its own equivalents in egress_test.go.
+func classicEgressPair(t *testing.T) (*UDPNetwork, *UDPNetwork) {
+	t.Helper()
+	a, err := NewUDPNetwork(UDPConfig{LocalID: 1, Listen: "127.0.0.1:0", UnbatchedEgress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewUDPNetwork(UDPConfig{
+		LocalID:         2,
+		Listen:          "127.0.0.1:0",
+		Peers:           map[neko.ProcessID]string{1: a.LocalAddr().String()},
+		UnbatchedEgress: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestSendZeroAlloc pins the classic egress half: encoding into a pooled
+// buffer and writing via WriteToUDPAddrPort allocates nothing per send.
 func TestSendZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("alloc accounting holds only in normal builds")
 	}
-	a, b := twoEndpoints(t)
+	a, b := classicEgressPair(t)
 	if _, err := b.Attach(2, recvFunc(func(*neko.Message) {})); err != nil {
 		t.Fatal(err)
 	}
@@ -385,11 +412,11 @@ func TestSendZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestSendErrorsCounted pins the egress accounting: an unencodable message
-// and a failed socket write both increment the send-error counter instead
-// of vanishing silently.
+// TestSendErrorsCounted pins the classic egress accounting: an
+// unencodable message and a failed socket write both increment the
+// send-error counter instead of vanishing silently.
 func TestSendErrorsCounted(t *testing.T) {
-	a, b := twoEndpoints(t)
+	a, b := classicEgressPair(t)
 	sender, err := a.Attach(1, recvFunc(func(*neko.Message) {}))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,162 @@
+//go:build linux
+
+package transport
+
+import (
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr: one msghdr plus the
+// per-message byte count the kernel writes back. Go's natural padding
+// matches the kernel layout on both 32- and 64-bit (the struct is padded
+// to the msghdr alignment), so an array of these is a valid msgvec.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+// flusher is the linux egress backend: preallocated sendmmsg state sized
+// once for the configured batch, so a steady-state flush performs zero
+// allocations — the iovecs alias the pooled encode buffers and the
+// sockaddr storage is reused call over call.
+type flusher struct {
+	n  *UDPNetwork
+	rc syscall.RawConn
+	// v6 records the socket family (from getsockname): an AF_INET6
+	// socket needs v4-mapped-v6 sockaddrs for IPv4 destinations, an
+	// AF_INET socket needs plain sockaddr_in.
+	v6 bool
+
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sa4  []syscall.RawSockaddrInet4
+	sa6  []syscall.RawSockaddrInet6
+
+	// Window state shared with the preallocated writeFn closure, so a
+	// flush that must wait for socket writability re-enters without
+	// allocating.
+	off, total, sent, calls, errs int
+	writeFn                       func(fd uintptr) bool
+}
+
+// newFlusher sizes the syscall state for batch datagrams. If the raw
+// descriptor is unavailable the flusher falls back to per-datagram stdlib
+// writes through the same flush interface.
+func newFlusher(n *UDPNetwork, batch int) *flusher {
+	f := &flusher{
+		n:    n,
+		hdrs: make([]mmsghdr, batch),
+		iovs: make([]syscall.Iovec, batch),
+		sa4:  make([]syscall.RawSockaddrInet4, batch),
+		sa6:  make([]syscall.RawSockaddrInet6, batch),
+	}
+	if sysSENDMMSG == 0 {
+		// No sendmmsg number for this architecture: stay on the
+		// batch-of-one fallback.
+		return f
+	}
+	rc, err := n.conn.SyscallConn()
+	if err != nil {
+		return f
+	}
+	f.rc = rc
+	_ = rc.Control(func(fd uintptr) {
+		if sa, err := syscall.Getsockname(int(fd)); err == nil {
+			_, f.v6 = sa.(*syscall.SockaddrInet6)
+		}
+	})
+	// Everything but the iovec base/len and the sockaddr payload is
+	// invariant per slot — wire it up once so a flush writes only what
+	// changes between batches.
+	for i := range f.hdrs {
+		h := &f.hdrs[i].hdr
+		h.Iov = &f.iovs[i]
+		h.Iovlen = 1
+		if f.v6 {
+			f.sa6[i].Family = syscall.AF_INET6
+			h.Name = (*byte)(unsafe.Pointer(&f.sa6[i]))
+			h.Namelen = syscall.SizeofSockaddrInet6
+		} else {
+			f.sa4[i].Family = syscall.AF_INET
+			h.Name = (*byte)(unsafe.Pointer(&f.sa4[i]))
+			h.Namelen = syscall.SizeofSockaddrInet4
+		}
+	}
+	f.writeFn = func(fd uintptr) bool {
+		for f.off < f.total {
+			nr, _, errno := syscall.Syscall6(sysSENDMMSG,
+				fd,
+				uintptr(unsafe.Pointer(&f.hdrs[f.off])),
+				uintptr(f.total-f.off),
+				uintptr(syscall.MSG_DONTWAIT),
+				0, 0)
+			f.calls++
+			switch errno {
+			case 0:
+				f.off += int(nr)
+				f.sent += int(nr)
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				// Socket buffer full: park in the netpoller until
+				// writable, then re-enter this closure.
+				return false
+			default:
+				// A datagram-level error is pinned to the first message
+				// of the window (sendmmsg reports an error only when
+				// nothing was sent): drop that one packet, keep the
+				// rest in order.
+				f.errs++
+				f.off++
+			}
+		}
+		return true
+	}
+	return f
+}
+
+// fillSockaddr writes ap's address and port into slot i's sockaddr
+// storage. Family, msghdr name pointer and name length were fixed at
+// construction; only the payload changes per packet.
+func (f *flusher) fillSockaddr(i int, ap netip.AddrPort) {
+	port := ap.Port()
+	if f.v6 {
+		sa := &f.sa6[i]
+		// As16 yields the v4-mapped form for IPv4 addresses, which is
+		// exactly what a dual-stack AF_INET6 socket expects.
+		sa.Addr = ap.Addr().As16()
+		pb := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		pb[0], pb[1] = byte(port>>8), byte(port)
+		return
+	}
+	sa := &f.sa4[i]
+	sa.Addr = ap.Addr().As4()
+	pb := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	pb[0], pb[1] = byte(port>>8), byte(port)
+}
+
+// flush hands one resolved batch to the kernel: one sendmmsg per window,
+// re-parking on the netpoller when the socket buffer fills. Packets go
+// out in slice order, so per-peer FIFO is preserved. It returns how many
+// datagrams were handed to the kernel, how many syscalls that took, and
+// how many datagram-level errors were dropped.
+func (f *flusher) flush(items []egressItem, dst []netip.AddrPort) (sent, syscalls, errs int) {
+	if f.rc == nil {
+		return flushFallback(f.n, items, dst)
+	}
+	for i := range items {
+		buf := items[i].buf
+		f.iovs[i].Base = &buf[0]
+		f.iovs[i].SetLen(len(buf))
+		f.fillSockaddr(i, dst[i])
+	}
+	f.off, f.total, f.sent, f.calls, f.errs = 0, len(items), 0, 0, 0
+	if err := f.rc.Write(f.writeFn); err != nil {
+		// The socket is unusable (closed under us): everything not yet
+		// sent is lost.
+		f.errs += f.total - f.off
+	}
+	return f.sent, f.calls, f.errs
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package transport
+
+import "net/netip"
+
+// flusher on non-linux platforms is the batch-of-one fallback: the same
+// flush interface as the linux sendmmsg backend, implemented as one stdlib
+// write per datagram, so syscalls == sent and the pipeline's accounting
+// stays comparable across platforms.
+type flusher struct{ n *UDPNetwork }
+
+func newFlusher(n *UDPNetwork, batch int) *flusher { return &flusher{n: n} }
+
+func (f *flusher) flush(items []egressItem, dst []netip.AddrPort) (sent, syscalls, errs int) {
+	return flushFallback(f.n, items, dst)
+}

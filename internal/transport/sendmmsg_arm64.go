@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package transport
+
+// sysSENDMMSG is the sendmmsg(2) syscall number. Go's syscall package was
+// generated before the syscall existed and does not export it; the number
+// is ABI-frozen per architecture.
+const sysSENDMMSG = 269

@@ -1,0 +1,7 @@
+//go:build linux && !amd64 && !arm64
+
+package transport
+
+// sysSENDMMSG is unknown on this architecture; 0 makes the flusher fall
+// back to per-datagram stdlib writes (batch-of-one, same interface).
+const sysSENDMMSG = 0

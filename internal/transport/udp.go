@@ -37,6 +37,19 @@ type UDPConfig struct {
 	// reader. Values above 1 are honoured only where SO_REUSEPORT is
 	// available (Linux) and are otherwise clamped to 1.
 	Readers int
+	// UnbatchedEgress disables the batched send pipeline (egress.go) and
+	// restores the classic one-write-syscall-per-datagram send path. The
+	// classic path is kept as the A/B baseline for BenchmarkEgress; see
+	// WithPipeline.
+	UnbatchedEgress bool
+	// EgressBatch is the maximum datagrams per egress flush (sendmmsg
+	// vector length on linux); 0 selects defaultEgressBatch.
+	EgressBatch int
+	// EgressFlushInterval bounds how long a partial egress batch may wait
+	// for batch-mates before being flushed anyway. 0 (the default) flushes
+	// partial batches immediately: batching then comes only from natural
+	// send bursts and never delays a heartbeat.
+	EgressFlushInterval time.Duration
 }
 
 // peerState is one registered peer: its transport identity plus the
@@ -87,7 +100,14 @@ type UDPNetwork struct {
 	// per batch, not once per packet.
 	peerMu sync.RWMutex
 	peers  map[neko.ProcessID]*peerState
-	byAddr map[netip.AddrPort]*peerState
+	// byAddr4/byAddr6 index peers by source address for receive
+	// attribution. IPv4 endpoints (the common case) pack address and port
+	// into one uint64 key so the per-packet lookup rides the runtime's
+	// fast 64-bit map path instead of hashing a 32-byte netip.AddrPort —
+	// measurably cheaper at 100k-peer scale. IPv6 endpoints keep the
+	// structural key.
+	byAddr4 map[uint64]*peerState
+	byAddr6 map[netip.AddrPort]*peerState
 
 	receiver atomic.Pointer[receiverBox]
 	attached atomic.Bool
@@ -102,6 +122,8 @@ type UDPNetwork struct {
 
 	// ingest is the batched receive pipeline; nil when cfg.Unbatched.
 	ingest *ingestState
+	// egress is the batched send pipeline; nil when cfg.UnbatchedEgress.
+	egress *egressState
 	// extra are the SO_REUSEPORT reader sockets beyond conn.
 	extra []*net.UDPConn
 
@@ -124,7 +146,8 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 		return nil, fmt.Errorf("transport: missing listen address")
 	}
 	peers := make(map[neko.ProcessID]*peerState, len(cfg.Peers))
-	byAddr := make(map[netip.AddrPort]*peerState, len(cfg.Peers))
+	byAddr4 := make(map[uint64]*peerState, len(cfg.Peers))
+	byAddr6 := make(map[netip.AddrPort]*peerState)
 	for id, addr := range cfg.Peers {
 		a, err := net.ResolveUDPAddr("udp", addr)
 		if err != nil {
@@ -132,7 +155,11 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 		}
 		ps := &peerState{id: id, ap: unmapAP(a.AddrPort())}
 		peers[id] = ps
-		byAddr[ps.ap] = ps
+		if k, ok := addrKey4(ps.ap); ok {
+			byAddr4[k] = ps
+		} else {
+			byAddr6[ps.ap] = ps
+		}
 	}
 	batched := !cfg.Unbatched
 	conn, err := listenUDP(cfg.Listen, batched)
@@ -144,17 +171,25 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 		cfg:       cfg,
 		conn:      conn,
 		peers:     peers,
-		byAddr:    byAddr,
+		byAddr4:   byAddr4,
+		byAddr6:   byAddr6,
 		epoch:     clk.Epoch(),
 		epochNano: clk.Epoch().UnixNano(),
 		clk:       clk,
 		timers:    sched.NewWheel(sched.Config{Clock: clk}),
 		pending:   make(map[int64]chan clock.Sample),
 		closed:    make(chan struct{}),
-		bufs: freelist.NewPool(sendBufPoolCap, func() []byte {
-			return make([]byte, 0, maxPacketSize)
-		}),
 	}
+	// The egress pipeline can pin a full complement of encoded packets in
+	// its shard rings plus one in-flight batch; size the buffer freelist to
+	// cover that so a loaded sender still recycles instead of allocating.
+	bufCap := sendBufPoolCap
+	if !cfg.UnbatchedEgress {
+		bufCap = egressShards*egressRingCap + 2*maxEgressBatch + sendBufPoolCap
+	}
+	n.bufs = freelist.NewPool(bufCap, func() []byte {
+		return make([]byte, 0, maxPacketSize)
+	})
 	if tm := cfg.Telemetry.TransportMetrics(); tm != nil {
 		n.mSent, n.mReceived = tm.Sent, tm.Received
 		n.mDecodeErr, n.mDropped = tm.DecodeErrors, tm.Dropped
@@ -165,6 +200,9 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 	} else {
 		n.wg.Add(1)
 		go n.readLoop()
+	}
+	if !cfg.UnbatchedEgress {
+		n.startEgress()
 	}
 	return n, nil
 }
@@ -184,6 +222,10 @@ func (n *UDPNetwork) wallNano() int64 { return n.clk.WallTime().UnixNano() }
 
 // Batched reports whether the endpoint runs the batched ingest pipeline.
 func (n *UDPNetwork) Batched() bool { return n.ingest != nil }
+
+// BatchedEgress reports whether the endpoint runs the batched send
+// pipeline.
+func (n *UDPNetwork) BatchedEgress() bool { return n.egress != nil }
 
 // LocalAddr returns the bound UDP address.
 func (n *UDPNetwork) LocalAddr() *net.UDPAddr {
@@ -207,12 +249,16 @@ func (n *UDPNetwork) AddPeer(id neko.ProcessID, addr string) error {
 	if _, dup := n.peers[id]; dup {
 		return fmt.Errorf("transport: peer %d already registered", id)
 	}
-	if other, dup := n.byAddr[ap]; dup {
+	if other, dup := n.lookupAddrLocked(ap); dup {
 		return fmt.Errorf("transport: address %s already registered as peer %d", ap, other.id)
 	}
 	ps := &peerState{id: id, ap: ap}
 	n.peers[id] = ps
-	n.byAddr[ap] = ps
+	if k, ok := addrKey4(ap); ok {
+		n.byAddr4[k] = ps
+	} else {
+		n.byAddr6[ap] = ps
+	}
 	return nil
 }
 
@@ -226,7 +272,11 @@ func (n *UDPNetwork) RemovePeer(id neko.ProcessID) error {
 		return fmt.Errorf("transport: unknown peer %d", id)
 	}
 	delete(n.peers, id)
-	delete(n.byAddr, ps.ap)
+	if k, ok := addrKey4(ps.ap); ok {
+		delete(n.byAddr4, k)
+	} else {
+		delete(n.byAddr6, ps.ap)
+	}
 	return nil
 }
 
@@ -250,8 +300,30 @@ func (n *UDPNetwork) peerByID(id neko.ProcessID) (*peerState, bool) {
 func (n *UDPNetwork) peerByAddr(ap netip.AddrPort) (*peerState, bool) {
 	n.peerMu.RLock()
 	defer n.peerMu.RUnlock()
-	ps, ok := n.byAddr[ap]
-	return ps, ok
+	return n.lookupAddrLocked(ap)
+}
+
+// addrKey4 packs an unmapped IPv4 address and port into one map key word;
+// ok is false for IPv6 endpoints, which stay under the structural key.
+func addrKey4(ap netip.AddrPort) (uint64, bool) {
+	a := ap.Addr()
+	if !a.Is4() {
+		return 0, false
+	}
+	b := a.As4()
+	return uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 | uint64(b[3])<<16 |
+		uint64(ap.Port()), true
+}
+
+// lookupAddrLocked resolves a source address (already Unmap()ed) to its
+// peer. Callers hold peerMu in at least read mode.
+func (n *UDPNetwork) lookupAddrLocked(ap netip.AddrPort) (*peerState, bool) {
+	if k, ok := addrKey4(ap); ok {
+		ps, found := n.byAddr4[k]
+		return ps, found
+	}
+	ps, found := n.byAddr6[ap]
+	return ps, found
 }
 
 // Attach implements neko.Network for the configured local process.
@@ -277,6 +349,12 @@ type udpSender struct{ n *UDPNetwork }
 func (s udpSender) Send(m *neko.Message) { s.n.send(m) }
 
 func (n *UDPNetwork) send(m *neko.Message) {
+	if n.egress != nil {
+		// Batched path: encode here, resolve and flush on the egress
+		// goroutine (one sendmmsg per batch).
+		n.enqueue(m)
+		return
+	}
 	ps, ok := n.peerByID(m.To)
 	if !ok {
 		n.mDropped.Inc()

@@ -172,10 +172,14 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		return nil, err
 	}
 	net, err := transport.NewUDPNetwork(transport.UDPConfig{
-		LocalID:   multiMonitorID,
-		Listen:    listen,
-		Telemetry: o.telemetry,
-		Unbatched: o.batchedOff,
+		LocalID:             multiMonitorID,
+		Listen:              listen,
+		Telemetry:           o.telemetry,
+		Unbatched:           o.batchedOff,
+		Readers:             o.readers,
+		UnbatchedEgress:     o.egressOff,
+		EgressBatch:         o.egressBatch,
+		EgressFlushInterval: o.egressFlushInterval,
 	})
 	if err != nil {
 		return nil, err

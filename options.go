@@ -46,6 +46,16 @@ type options struct {
 	// batchedOff is inverted for the same reason: the zero value keeps the
 	// batched ingest pipeline enabled by default.
 	batchedOff bool
+	// egressOff is inverted likewise: the zero value keeps the batched
+	// egress pipeline enabled by default.
+	egressOff bool
+	// egressBatch and egressFlushInterval tune the batched egress pipeline
+	// (see PipelineConfig); zero selects the transport defaults.
+	egressBatch         int
+	egressFlushInterval time.Duration
+	// readers is the SO_REUSEPORT reader-socket count (see PipelineConfig);
+	// zero selects a single reader.
+	readers int
 }
 
 // peerSpec is one initial cluster member.
@@ -177,28 +187,111 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(o *options) { o.telemetry = reg }
 }
 
+// TransportMode selects the monitor's transport and scheduler
+// architecture wholesale. It replaces the accreted WithTimerWheel /
+// WithBatchedTransport boolean pair with one named axis; per-stage
+// overrides and tuning knobs live in PipelineConfig.
+type TransportMode int
+
+const (
+	// TransportBatched is the default production architecture: the shared
+	// timing-wheel scheduler (O(shards) runtime timers), the batched
+	// zero-allocation ingest pipeline (one drain per socket wakeup, one
+	// clock stamp per batch, lock-free rings to the router — DESIGN.md
+	// §10), and the batched egress pipeline (pooled encode buffers,
+	// per-shard send rings, one sendmmsg per flush — DESIGN.md §11).
+	TransportBatched TransportMode = iota
+	// TransportClassic is the A/B baseline: one runtime timer per peer
+	// deadline, one blocking read / decode allocation / dispatch per
+	// received datagram, and one write syscall per sent datagram. It
+	// exists for measurement (BenchmarkIngest, BenchmarkEgress,
+	// BenchmarkCluster10k), not production use.
+	TransportClassic
+)
+
+// WithTransportMode selects the transport/scheduler architecture (default
+// TransportBatched). Both NewMonitor and NewMultiMonitor support it.
+func WithTransportMode(mode TransportMode) Option {
+	return func(o *options) {
+		classic := mode == TransportClassic
+		o.timerWheelOff = classic
+		o.batchedOff = classic
+		o.egressOff = classic
+	}
+}
+
+// PipelineConfig tunes the batched transport pipelines. The zero value
+// selects every default; fields are orthogonal, so setting one knob does
+// not disturb the others.
+type PipelineConfig struct {
+	// EgressBatch is the maximum datagrams per egress flush (the sendmmsg
+	// vector length on linux); 0 selects the transport default (64).
+	EgressBatch int
+	// EgressFlushInterval bounds how long a partial egress batch may wait
+	// for batch-mates before being flushed anyway — the bounded one-sided
+	// send delay of DESIGN.md §11. 0 (the default) flushes partial batches
+	// immediately, so batching comes only from natural send bursts and
+	// never delays a heartbeat.
+	EgressFlushInterval time.Duration
+	// Readers is the SO_REUSEPORT reader-socket (and drain-goroutine)
+	// count of the batched ingest pipeline; 0 or 1 means a single reader.
+	// Honoured only where SO_REUSEPORT is available (linux).
+	Readers int
+	// DisableTimerWheel, DisableBatchedIngest and DisableBatchedEgress
+	// switch individual stages back to their classic implementations for
+	// fine-grained A/B comparison; WithTransportMode(TransportClassic)
+	// disables all three at once.
+	DisableTimerWheel    bool
+	DisableBatchedIngest bool
+	DisableBatchedEgress bool
+}
+
+// WithPipeline applies pipeline tuning. Both NewMonitor and
+// NewMultiMonitor support it; knobs for stages an entry point does not run
+// are ignored.
+func WithPipeline(cfg PipelineConfig) Option {
+	return func(o *options) {
+		if cfg.EgressBatch > 0 {
+			o.egressBatch = cfg.EgressBatch
+		}
+		if cfg.EgressFlushInterval > 0 {
+			o.egressFlushInterval = cfg.EgressFlushInterval
+		}
+		if cfg.Readers > 0 {
+			o.readers = cfg.Readers
+		}
+		if cfg.DisableTimerWheel {
+			o.timerWheelOff = true
+		}
+		if cfg.DisableBatchedIngest {
+			o.batchedOff = true
+		}
+		if cfg.DisableBatchedEgress {
+			o.egressOff = true
+		}
+	}
+}
+
 // WithTimerWheel enables or disables the shared timing-wheel scheduler of
-// a cluster monitor (default enabled). With the wheel on, all per-peer
-// freshness deadlines of a router shard share one wheel and one lazy
-// expiry goroutine — O(shards), not O(peers), timers. Disabling it falls
-// back to one runtime timer per peer per heartbeat cycle; the fallback
-// exists for A/B measurement (see BenchmarkCluster10k), not production
-// use.
+// a cluster monitor (default enabled).
+//
+// Deprecated: use WithTransportMode(TransportClassic) for the full classic
+// baseline or WithPipeline(PipelineConfig{DisableTimerWheel: true}) for
+// this single stage.
 func WithTimerWheel(enabled bool) Option {
 	return func(o *options) { o.timerWheelOff = !enabled }
 }
 
-// WithBatchedTransport enables or disables the batched zero-allocation
-// ingest pipeline of the UDP transport (default enabled). With batching
-// on, the receive path drains every queued datagram per socket wakeup into
-// pooled messages, stamps the batch with a single clock reading (DESIGN.md
-// §10 bounds the skew), and hands per-shard batches to the router over
-// bounded lock-free rings — zero steady-state allocations and explicit
-// overflow drops instead of backpressure. Disabling it restores the
-// classic blocking read / allocate / dispatch loop; the fallback exists
-// for A/B measurement (see BenchmarkIngest), not production use.
+// WithBatchedTransport enables or disables the batched transport pipelines
+// (ingest and egress together; default enabled).
+//
+// Deprecated: use WithTransportMode, which names the architecture, or
+// WithPipeline for per-stage control.
 func WithBatchedTransport(enabled bool) Option {
-	return func(o *options) { o.batchedOff = !enabled }
+	return func(o *options) {
+		o.batchedOff = !enabled
+		o.egressOff = !enabled
+	}
 }
 
 // rejectMonitorOnly returns an error when o carries options a cluster

@@ -100,11 +100,15 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 		return nil, fmt.Errorf("wanfd: monitor needs the heartbeater address")
 	}
 	net, err := transport.NewUDPNetwork(transport.UDPConfig{
-		LocalID:   udpMonitorID,
-		Listen:    listen,
-		Peers:     map[neko.ProcessID]string{udpHeartbeaterID: remote},
-		Telemetry: o.telemetry,
-		Unbatched: o.batchedOff,
+		LocalID:             udpMonitorID,
+		Listen:              listen,
+		Peers:               map[neko.ProcessID]string{udpHeartbeaterID: remote},
+		Telemetry:           o.telemetry,
+		Unbatched:           o.batchedOff,
+		Readers:             o.readers,
+		UnbatchedEgress:     o.egressOff,
+		EgressBatch:         o.egressBatch,
+		EgressFlushInterval: o.egressFlushInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -238,15 +242,6 @@ func (m *Monitor) DetectorStats() DetectorStats {
 	return DetectorStats{}
 }
 
-// Stats reports heartbeats processed, stale heartbeats, and suspicion
-// episodes.
-//
-// Deprecated: use DetectorStats, which names the counters.
-func (m *Monitor) Stats() (heartbeats, stale, suspicions uint64) {
-	s := m.DetectorStats()
-	return s.Heartbeats, s.Stale, s.Suspicions
-}
-
 // Close stops the detector and releases the socket.
 func (m *Monitor) Close() error {
 	m.mon.Stop()
@@ -259,42 +254,79 @@ type HeartbeaterConfig struct {
 	Listen string
 	// Remote is the monitor's UDP address.
 	Remote string
+	// Remotes are additional monitor addresses. With more than one remote
+	// in total the heartbeater runs a HeartbeaterGroup: every monitor gets
+	// its own η-grid, phase-staggered across the interval, and the grids
+	// drain through the transport's batched egress pipeline (one sendmmsg
+	// per flush) instead of one write syscall per monitor per cycle.
+	Remotes []string
 	// Eta is the sending period.
 	Eta time.Duration
 }
 
-// Heartbeater is a running UDP heartbeat sender.
+// Heartbeater is a running UDP heartbeat sender serving one or more
+// monitors.
 type Heartbeater struct {
 	net *transport.UDPNetwork
-	hb  *layers.Heartbeater
+	hb  *layers.Heartbeater      // single-monitor form
+	grp *layers.HeartbeaterGroup // multi-monitor form
 }
 
-// RunHeartbeater opens the socket and starts sending heartbeats every Eta.
-// Close must be called to stop sending and release the socket.
+// RunHeartbeater opens the socket and starts sending heartbeats every Eta
+// to every configured monitor. Close must be called to stop sending and
+// release the socket.
 func RunHeartbeater(cfg HeartbeaterConfig) (*Heartbeater, error) {
-	if cfg.Remote == "" {
+	remotes := make([]string, 0, 1+len(cfg.Remotes))
+	if cfg.Remote != "" {
+		remotes = append(remotes, cfg.Remote)
+	}
+	remotes = append(remotes, cfg.Remotes...)
+	if len(remotes) == 0 {
 		return nil, fmt.Errorf("wanfd: heartbeater needs the monitor address")
+	}
+	peers := make(map[neko.ProcessID]string, len(remotes))
+	for i, addr := range remotes {
+		peers[udpMonitorID+neko.ProcessID(i)] = addr
 	}
 	net, err := transport.NewUDPNetwork(transport.UDPConfig{
 		LocalID: udpHeartbeaterID,
 		Listen:  cfg.Listen,
-		Peers:   map[neko.ProcessID]string{udpMonitorID: cfg.Remote},
+		Peers:   peers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	hb, err := layers.NewHeartbeater(udpMonitorID, cfg.Eta)
-	if err != nil {
-		_ = net.Close()
-		return nil, err
-	}
+	h := &Heartbeater{net: net}
 	// Number cycles on the shared wall-clock grid (σ_i = i·η) so a
 	// restarted heartbeater resumes with fresh sequence numbers.
-	if err := hb.SetStartSeq(net.WallTime().UnixNano() / int64(cfg.Eta)); err != nil {
-		_ = net.Close()
-		return nil, err
+	startSeq := net.WallTime().UnixNano() / int64(cfg.Eta)
+	var top neko.Layer
+	if len(remotes) == 1 {
+		hb, err := layers.NewHeartbeater(udpMonitorID, cfg.Eta)
+		if err != nil {
+			_ = net.Close()
+			return nil, err
+		}
+		if err := hb.SetStartSeq(startSeq); err != nil {
+			_ = net.Close()
+			return nil, err
+		}
+		h.hb, top = hb, hb
+	} else {
+		grp, err := layers.NewHeartbeaterGroup(cfg.Eta)
+		if err != nil {
+			_ = net.Close()
+			return nil, err
+		}
+		for i := range remotes {
+			if err := grp.Add(udpMonitorID+neko.ProcessID(i), startSeq); err != nil {
+				_ = net.Close()
+				return nil, err
+			}
+		}
+		h.grp, top = grp, grp
 	}
-	proc, err := neko.NewProcess(udpHeartbeaterID, net.Clock(), net, hb)
+	proc, err := neko.NewProcess(udpHeartbeaterID, net.Clock(), net, top)
 	if err != nil {
 		_ = net.Close()
 		return nil, err
@@ -303,18 +335,28 @@ func RunHeartbeater(cfg HeartbeaterConfig) (*Heartbeater, error) {
 		_ = net.Close()
 		return nil, err
 	}
-	return &Heartbeater{net: net, hb: hb}, nil
+	return h, nil
 }
 
-// Sent returns the number of heartbeats emitted.
-func (h *Heartbeater) Sent() uint64 { return h.hb.Sent() }
+// Sent returns the number of heartbeats emitted (summed over all monitors
+// in the multi-monitor form).
+func (h *Heartbeater) Sent() uint64 {
+	if h.grp != nil {
+		return h.grp.Sent()
+	}
+	return h.hb.Sent()
+}
 
 // LocalAddr returns the bound UDP address string.
 func (h *Heartbeater) LocalAddr() string { return h.net.LocalAddr().String() }
 
 // Close stops sending and releases the socket.
 func (h *Heartbeater) Close() error {
-	h.hb.Stop()
+	if h.grp != nil {
+		h.grp.Stop()
+	} else {
+		h.hb.Stop()
+	}
 	return h.net.Close()
 }
 

@@ -79,13 +79,9 @@ func TestDeprecatedStatsWrapper(t *testing.T) {
 		d.Heartbeat(i, time.Now().Add(-2*time.Millisecond))
 	}
 	d.Heartbeat(2, time.Now()) // one stale duplicate
-	hb, stale, susp := d.Stats()
 	s := d.DetectorStats()
-	if hb != s.Heartbeats || stale != s.Stale || susp != s.Suspicions {
-		t.Errorf("Stats() = (%d, %d, %d), DetectorStats() = %+v", hb, stale, susp, s)
-	}
-	if hb != 6 || stale != 1 {
-		t.Errorf("heartbeats = %d (stale %d), want 6 (stale 1)", hb, stale)
+	if s.Heartbeats != 6 || s.Stale != 1 {
+		t.Errorf("heartbeats = %d (stale %d), want 6 (stale 1)", s.Heartbeats, s.Stale)
 	}
 }
 
