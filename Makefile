@@ -21,14 +21,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Allocation-regression gates for the batched transport pipelines: run
-# the ingest and egress benchmarks and fail if any benchmark recorded at
-# 0 allocs/op in its baseline (BENCH_ingest.json / BENCH_egress.json)
-# allocates at all, or a non-zero baseline regresses by more than 5%.
-# Wall-clock is reported but never gated (CI noise).
+# Allocation-regression gates for the batched transport pipelines and the
+# scheduler dispatch path: run the benchmarks and fail if any benchmark
+# recorded at 0 allocs/op in its baseline (BENCH_ingest.json /
+# BENCH_egress.json / BENCH_sched.json) allocates at all, or a non-zero
+# baseline regresses by more than 5%. Wall-clock is reported but never
+# gated (CI noise).
 benchguard:
 	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_ingest.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEgress|BenchmarkPipeline100k' -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_egress.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCluster1k/steady/sharded|BenchmarkCluster10k' -benchtime 20000x . | $(GO) run ./cmd/benchguard -baseline BENCH_sched.json
 
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"

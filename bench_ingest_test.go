@@ -62,11 +62,12 @@ func buildIngestTraffic(b *testing.B, mm *MultiMonitor, peers int) (pkts [][]byt
 // lag-bounded against the delivery counter so shard rings never overflow.
 // The final drain is inside the timed region — ns/op is delivered
 // throughput, not enqueue throughput.
-func runIngestBench(b *testing.B, peers int, batched bool) {
+func runIngestBench(b *testing.B, peers int, batched bool, extra ...Option) {
 	var opts []Option
 	if !batched {
 		opts = append(opts, WithPipeline(PipelineConfig{DisableBatchedIngest: true}))
 	}
+	opts = append(opts, extra...)
 	mm, err := NewMultiMonitor("127.0.0.1:0", opts...)
 	if err != nil {
 		b.Fatal(err)
@@ -135,6 +136,18 @@ func BenchmarkIngest1k(b *testing.B) {
 func BenchmarkIngest10k(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { runIngestBench(b, benchCluster10kPeers, true) })
 	b.Run("unbatched", func(b *testing.B) { runIngestBench(b, benchCluster10kPeers, false) })
+	// The hot-path-neutrality pin for the durable QoS store: the batched
+	// pipeline with every detector tapping a PeerRecorder must stay at
+	// 0 allocs/op — samples go into a fixed ring, drops are counted and
+	// never block, and only the background writer touches the filesystem.
+	b.Run("batched-store", func(b *testing.B) {
+		st, err := OpenStore(StoreConfig{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = st.Close() }()
+		runIngestBench(b, benchCluster10kPeers, true, WithStore(st))
+	})
 }
 
 // BenchmarkIngest100k is the scale configuration: 102400 peers across the

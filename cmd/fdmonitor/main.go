@@ -19,10 +19,17 @@
 //	POST   /cluster/peers?name=N&addr=A   start monitoring one more peer (cluster mode)
 //	DELETE /cluster/peers?name=N          stop monitoring a peer (cluster mode)
 //	GET    /status                        one-peer status (JSON, single-peer mode)
+//	GET    /stats                         unified monitor snapshot (JSON, both modes)
 //	GET    /metrics                       live telemetry, Prometheus text format
 //	GET    /events[?n=N]                  last N suspicion transitions, JSON Lines
+//	GET    /qos?from=1m&to=5m[&peer=N]    windowed QoS over the durable history (JSON)
+//	GET    /export?from=1m[&peer=N]       replayable binary window (feed to fdreplay)
 //	GET    /debug/pprof/                  net/http/pprof profiler
 //	GET    /debug/vars                    expvar
+//
+// With -store-dir the monitor appends every heartbeat delay sample and
+// suspicion transition to a durable on-disk store, which /qos and /export
+// query; -store-max-bytes and -store-max-age bound retention.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"wanfd"
 	"wanfd/internal/sim"
 	"wanfd/internal/telemetry"
+	"wanfd/internal/trace"
 )
 
 func main() {
@@ -64,6 +72,9 @@ func run() error {
 		stats     = flag.Duration("stats", 10*time.Second, "statistics print interval (0 disables)")
 		events    = flag.Int("events", 512, "suspicion transitions kept for GET /events")
 		batched   = flag.Bool("batched", true, "use the batched transport pipelines (false = classic per-datagram A/B baseline)")
+		storeDir  = flag.String("store-dir", "", "append durable QoS history (delay samples + suspicion transitions) to segment files in this directory")
+		storeMax  = flag.Int64("store-max-bytes", 0, "retention: cap the durable history's total size (0 = unbounded)")
+		storeAge  = flag.Duration("store-max-age", 0, "retention: drop durable history older than this (0 = keep everything)")
 	)
 	flag.Parse()
 	switch {
@@ -78,10 +89,34 @@ func run() error {
 	if *httpAddr != "" {
 		reg = telemetry.NewRegistry(*events)
 	}
+	sf := storeFlags{dir: *storeDir, maxBytes: *storeMax, maxAge: *storeAge}
 	if *peersFlag != "" {
-		return runCluster(*listen, *peersFlag, *httpAddr, *eta, *predictor, *margin, *stats, *batched, reg)
+		return runCluster(*listen, *peersFlag, *httpAddr, *eta, *predictor, *margin, *stats, *batched, reg, sf)
 	}
-	return runSingle(*listen, *remote, *httpAddr, *eta, *predictor, *margin, *accrual, *sync, *stats, *batched, reg)
+	return runSingle(*listen, *remote, *httpAddr, *eta, *predictor, *margin, *accrual, *sync, *stats, *batched, reg, sf)
+}
+
+// storeFlags bundles the durable-store CLI knobs.
+type storeFlags struct {
+	dir      string
+	maxBytes int64
+	maxAge   time.Duration
+}
+
+// openQoSStore opens the durable store when -store-dir is set; a nil store
+// (with nil error) means the feature is off and every downstream consumer
+// is nil-safe.
+func openQoSStore(sf storeFlags, clk *sim.RealClock) (*wanfd.Store, error) {
+	if sf.dir == "" {
+		return nil, nil
+	}
+	return wanfd.OpenStore(wanfd.StoreConfig{
+		Dir:      sf.dir,
+		MaxBytes: sf.maxBytes,
+		MaxAge:   sf.maxAge,
+		Clock:    clk,
+		Epoch:    clk.Epoch().UnixNano(),
+	})
 }
 
 // serveHTTP starts an HTTP server for the given handler and reports its
@@ -115,8 +150,100 @@ type singleStatus struct {
 	wanfd.DetectorStats
 }
 
+// qosMeta stamps exported windows with the recording monitor's detector
+// configuration, so fdreplay can rebuild an equivalent detector.
+type qosMeta struct {
+	// detector is the live combination name ("" when not replayable, e.g.
+	// φ-accrual mode).
+	detector   string
+	eta        time.Duration
+	minTimeout time.Duration
+}
+
+// parseWindowArg reads one window-bound query parameter as a Go duration
+// on the monitor's elapsed timeline; absent means 0 (session start for
+// from, "now" for to).
+func parseWindowArg(r *http.Request, key string) (time.Duration, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q: want a Go duration like 90s or 5m", key, s)
+	}
+	return d, nil
+}
+
+// mountQoS adds the unified-stats and durable-history endpoints shared by
+// both monitor modes. The store may be nil: /stats still serves (its Store
+// section reports Enabled false) while /qos and /export answer 404.
+func mountQoS(mux *http.ServeMux, statsFn func() wanfd.Stats, st *wanfd.Store, meta qosMeta) {
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(statsFn())
+	})
+	window := func(w http.ResponseWriter, r *http.Request) (from, to time.Duration, peer string, ok bool) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return 0, 0, "", false
+		}
+		if st == nil {
+			http.Error(w, "durable store not enabled (run with -store-dir)", http.StatusNotFound)
+			return 0, 0, "", false
+		}
+		var err error
+		if from, err = parseWindowArg(r, "from"); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return 0, 0, "", false
+		}
+		if to, err = parseWindowArg(r, "to"); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return 0, 0, "", false
+		}
+		return from, to, r.URL.Query().Get("peer"), true
+	}
+	mux.HandleFunc("/qos", func(w http.ResponseWriter, r *http.Request) {
+		from, to, peer, ok := window(w, r)
+		if !ok {
+			return
+		}
+		report, err := st.Query(from, to, peer)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(report)
+	})
+	mux.HandleFunc("/export", func(w http.ResponseWriter, r *http.Request) {
+		from, to, peer, ok := window(w, r)
+		if !ok {
+			return
+		}
+		win, err := st.Export(from, to, peer)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		win.Detector = meta.detector
+		win.Eta = meta.eta
+		win.MinTimeout = meta.minTimeout
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_ = trace.WriteWindow(w, win)
+	})
+}
+
 // singleHandler builds the HTTP surface of a single-peer monitor.
-func singleHandler(mon *wanfd.Monitor, remote string, clk *sim.RealClock, reg *telemetry.Registry) http.Handler {
+func singleHandler(mon *wanfd.Monitor, remote string, clk *sim.RealClock, reg *telemetry.Registry, st *wanfd.Store, meta qosMeta) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -136,6 +263,7 @@ func singleHandler(mon *wanfd.Monitor, remote string, clk *sim.RealClock, reg *t
 			DetectorStats: mon.DetectorStats(),
 		})
 	})
+	mountQoS(mux, mon.Stats, st, meta)
 	telemetry.Mount(mux, reg)
 	return mux
 }
@@ -148,12 +276,22 @@ func transportMode(batched bool) wanfd.TransportMode {
 	return wanfd.TransportClassic
 }
 
-func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration, batched bool, reg *telemetry.Registry) error {
+func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, margin string, accrual float64, sync bool, stats time.Duration, batched bool, reg *telemetry.Registry, sf storeFlags) error {
 	clk := sim.NewRealClock()
+	st, err := openQoSStore(sf, clk)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		// LIFO defers: the monitor (deferred below) closes first, then the
+		// store drains and fsyncs.
+		defer st.Close()
+	}
 	stamp := func(elapsed time.Duration) string {
 		return clk.Epoch().Add(elapsed).Format("15:04:05.000")
 	}
 	opts := []wanfd.Option{
+		wanfd.WithStore(st),
 		wanfd.WithEta(eta),
 		wanfd.WithPredictor(predictor),
 		wanfd.WithMargin(margin),
@@ -179,10 +317,17 @@ func runSingle(listen, remote, httpAddr string, eta time.Duration, predictor, ma
 	defer mon.Close()
 	fmt.Printf("monitoring %s with %s+%s, eta %v, clock offset %v\n",
 		remote, predictor, margin, eta, mon.ClockOffset())
+	if st != nil {
+		fmt.Printf("durable QoS history in %s\n", sf.dir)
+	}
 
+	meta := qosMeta{eta: eta, minTimeout: wanfd.DefaultMinTimeout}
+	if accrual == 0 {
+		meta.detector = predictor + "+" + margin
+	}
 	var httpErr chan error
 	if httpAddr != "" {
-		srv, ln, errCh, err := serveHTTP(httpAddr, singleHandler(mon, remote, clk, reg))
+		srv, ln, errCh, err := serveHTTP(httpAddr, singleHandler(mon, remote, clk, reg, st, meta))
 		if err != nil {
 			return err
 		}
@@ -253,13 +398,21 @@ func parsePeers(spec string) ([][2]string, error) {
 	return out, nil
 }
 
-func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor, margin string, stats time.Duration, batched bool, reg *telemetry.Registry) error {
+func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor, margin string, stats time.Duration, batched bool, reg *telemetry.Registry, sf storeFlags) error {
 	peers, err := parsePeers(peersSpec)
 	if err != nil {
 		return err
 	}
 	clk := sim.NewRealClock()
+	st, err := openQoSStore(sf, clk)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		defer st.Close()
+	}
 	opts := []wanfd.Option{
+		wanfd.WithStore(st),
 		wanfd.WithEta(eta),
 		wanfd.WithPredictor(predictor),
 		wanfd.WithMargin(margin),
@@ -283,10 +436,14 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 	defer mon.Close()
 	fmt.Printf("monitoring %d peers with %s+%s, eta %v, listening on %s\n",
 		len(peers), predictor, margin, eta, mon.LocalAddr())
+	if st != nil {
+		fmt.Printf("durable QoS history in %s\n", sf.dir)
+	}
 
+	meta := qosMeta{detector: predictor + "+" + margin, eta: eta, minTimeout: wanfd.DefaultMinTimeout}
 	var httpErr chan error
 	if httpAddr != "" {
-		srv, ln, errCh, err := serveHTTP(httpAddr, clusterHandler(mon, clk, reg))
+		srv, ln, errCh, err := serveHTTP(httpAddr, clusterHandler(mon, clk, reg, st, meta))
 		if err != nil {
 			return err
 		}
@@ -337,7 +494,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 }
 
 // clusterHandler builds the HTTP front-end over a live MultiMonitor.
-func clusterHandler(mon *wanfd.MultiMonitor, clk *sim.RealClock, reg *telemetry.Registry) http.Handler {
+func clusterHandler(mon *wanfd.MultiMonitor, clk *sim.RealClock, reg *telemetry.Registry, st *wanfd.Store, meta qosMeta) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -379,6 +536,7 @@ func clusterHandler(mon *wanfd.MultiMonitor, clk *sim.RealClock, reg *telemetry.
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
 	})
+	mountQoS(mux, mon.Stats, st, meta)
 	telemetry.Mount(mux, reg)
 	return mux
 }

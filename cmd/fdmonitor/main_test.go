@@ -16,6 +16,7 @@ import (
 	"wanfd/internal/nekostat"
 	"wanfd/internal/sim"
 	"wanfd/internal/telemetry"
+	"wanfd/internal/trace"
 )
 
 // freeUDPPorts reserves n distinct loopback UDP ports and releases them.
@@ -144,7 +145,7 @@ func TestClusterHTTPSurface(t *testing.T) {
 	}
 	defer mon.Close()
 
-	srv := httptest.NewServer(clusterHandler(mon, sim.NewRealClock(), reg))
+	srv := httptest.NewServer(clusterHandler(mon, sim.NewRealClock(), reg, nil, qosMeta{}))
 	defer srv.Close()
 
 	hbA, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{Listen: aAddr, Remote: monAddr, Eta: eta})
@@ -200,6 +201,26 @@ func TestClusterHTTPSurface(t *testing.T) {
 		return errA == nil && errB == nil && a.Heartbeats >= 10 && b.Heartbeats >= 10
 	}) {
 		t.Fatal("peers never delivered heartbeats")
+	}
+
+	// The unified snapshot serves on the cluster mux too; without a store
+	// its Store section reports disabled.
+	code, statsBody := httpGet(t, srv.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats = %d: %s", code, statsBody)
+	}
+	var unified wanfd.Stats
+	if err := json.Unmarshal([]byte(statsBody), &unified); err != nil {
+		t.Fatalf("/stats body: %v\n%s", err, statsBody)
+	}
+	if unified.Detector.Heartbeats < 10 {
+		t.Errorf("unified stats heartbeats = %d, want >= 10", unified.Detector.Heartbeats)
+	}
+	if unified.Store.Enabled {
+		t.Errorf("store reported enabled without -store-dir:\n%s", statsBody)
+	}
+	if code, body := httpGet(t, srv.URL+"/qos"); code != http.StatusNotFound {
+		t.Errorf("/qos without a store = %d (%s), want 404", code, body)
 	}
 
 	// Counter monotonicity across scrapes while heartbeats keep flowing.
@@ -310,7 +331,7 @@ func TestSingleHTTPSurface(t *testing.T) {
 	}
 	defer mon.Close()
 
-	srv := httptest.NewServer(singleHandler(mon, hbAddr, sim.NewRealClock(), reg))
+	srv := httptest.NewServer(singleHandler(mon, hbAddr, sim.NewRealClock(), reg, nil, qosMeta{}))
 	defer srv.Close()
 
 	if !waitFor(t, 5*time.Second, func() bool {
@@ -342,5 +363,123 @@ func TestSingleHTTPSurface(t *testing.T) {
 
 	if code, _ := httpGet(t, srv.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	code, statsBody := httpGet(t, srv.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats = %d: %s", code, statsBody)
+	}
+	var unified wanfd.Stats
+	if err := json.Unmarshal([]byte(statsBody), &unified); err != nil {
+		t.Fatalf("/stats body: %v\n%s", err, statsBody)
+	}
+	if unified.Detector.Heartbeats < 5 || unified.Store.Enabled {
+		t.Errorf("unified stats = %+v, want >=5 heartbeats and a disabled store", unified)
+	}
+	if code, _ := httpGet(t, srv.URL+"/export"); code != http.StatusNotFound {
+		t.Errorf("/export without a store = %d, want 404", code)
+	}
+}
+
+// TestDurableStoreHTTPSurface runs a single-peer monitor with the durable
+// QoS store attached and drives the whole history surface over HTTP:
+// /stats reports the store counters, /qos recomputes windowed QoS from
+// disk, and /export yields a binary window that round-trips through the
+// trace codec with the detector configuration stamped.
+func TestDurableStoreHTTPSurface(t *testing.T) {
+	addrs := freeUDPPorts(t, 2)
+	monAddr, hbAddr := addrs[0], addrs[1]
+	const eta = 25 * time.Millisecond
+
+	hb, err := wanfd.RunHeartbeater(wanfd.HeartbeaterConfig{Listen: hbAddr, Remote: monAddr, Eta: eta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hb.Close()
+
+	clk := sim.NewRealClock()
+	st, err := openQoSStore(storeFlags{dir: t.TempDir()}, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	reg := telemetry.NewRegistry(16)
+	mon, err := wanfd.NewMonitor(monAddr, hbAddr,
+		wanfd.WithEta(eta),
+		wanfd.WithTelemetry(reg),
+		wanfd.WithStore(st),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	meta := qosMeta{detector: "LAST+JAC_med", eta: eta, minTimeout: wanfd.DefaultMinTimeout}
+	srv := httptest.NewServer(singleHandler(mon, hbAddr, clk, reg, st, meta))
+	defer srv.Close()
+
+	if !waitFor(t, 5*time.Second, func() bool {
+		return mon.DetectorStats().Heartbeats >= 10
+	}) {
+		t.Fatal("no heartbeats delivered")
+	}
+
+	code, statsBody := httpGet(t, srv.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats = %d: %s", code, statsBody)
+	}
+	var unified wanfd.Stats
+	if err := json.Unmarshal([]byte(statsBody), &unified); err != nil {
+		t.Fatalf("/stats body: %v\n%s", err, statsBody)
+	}
+	if !unified.Store.Enabled {
+		t.Fatalf("store not reported enabled:\n%s", statsBody)
+	}
+	if unified.Store.Dropped != 0 {
+		t.Errorf("store dropped %d records under light load", unified.Store.Dropped)
+	}
+
+	code, qosBody := httpGet(t, srv.URL+"/qos?from=0s")
+	if code != http.StatusOK {
+		t.Fatalf("/qos = %d: %s", code, qosBody)
+	}
+	var report wanfd.WindowReport
+	if err := json.Unmarshal([]byte(qosBody), &report); err != nil {
+		t.Fatalf("/qos body: %v\n%s", err, qosBody)
+	}
+	if len(report.Peers) != 1 || report.Peers[0].Peer != hbAddr {
+		t.Fatalf("window peers = %+v, want one row for %q", report.Peers, hbAddr)
+	}
+	if pw := report.Peers[0]; pw.Samples < 10 || pw.DelayMs.N != pw.Samples {
+		t.Errorf("windowed samples = %d (summary N %d), want >= 10", pw.Samples, pw.DelayMs.N)
+	}
+	if code, body := httpGet(t, srv.URL+"/qos?from=bogus"); code != http.StatusBadRequest {
+		t.Errorf("/qos?from=bogus = %d (%s), want 400", code, body)
+	}
+
+	resp, err := http.Get(srv.URL + "/export?from=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/export = %d", resp.StatusCode)
+	}
+	win, err := trace.ReadWindow(resp.Body)
+	if err != nil {
+		t.Fatalf("/export body does not decode: %v", err)
+	}
+	if win.Detector != meta.detector || win.Eta != eta || win.MinTimeout != wanfd.DefaultMinTimeout {
+		t.Errorf("window header = (%q, %v, %v), want (%q, %v, %v)",
+			win.Detector, win.Eta, win.MinTimeout, meta.detector, eta, wanfd.DefaultMinTimeout)
+	}
+	if len(win.Samples) < 10 {
+		t.Errorf("exported %d samples, want >= 10", len(win.Samples))
+	}
+	for _, s := range win.Samples {
+		if s.Peer != hbAddr {
+			t.Fatalf("sample for unexpected peer %q", s.Peer)
+		}
 	}
 }

@@ -1,0 +1,181 @@
+// Command fdreplay replays an exported QoS-history window (the binary
+// format of GET /export on fdmonitor, or Store.Export + trace.WriteWindow)
+// through the paper's 30 predictor×margin detector grid in simulated time:
+// every recorded heartbeat is re-delivered at its recorded receive instant
+// to a freshly bootstrapped detector per combination, and the resulting
+// accuracy metrics are printed next to what the live monitor actually
+// recorded over the window.
+//
+// Usage:
+//
+//	curl -s localhost:8080/export?from=0 > incident.win
+//	fdreplay incident.win                 # whole grid vs the recording
+//	fdreplay -verify incident.win         # exit 1 unless the recording's
+//	                                      # own combination replays
+//	                                      # bit-identically
+//	fdreplay -verify -slack 1ms incident.win
+//	                                      # real-clock recording: tolerate
+//	                                      # OS timer latency on the
+//	                                      # suspicion instants
+//	fdreplay -peer tokyo incident.win     # pick a peer of a cluster window
+//	fdreplay -combo LAST+JAC_med incident.win
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/experiment"
+	"wanfd/internal/telemetry"
+	"wanfd/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		peer    = flag.String("peer", "", "peer to replay when the window holds several")
+		combos  = flag.String("combo", "", "comma-separated combinations to replay (e.g. \"LAST+JAC_med,ARIMA+CI_low\"); default: the full 30-combination grid")
+		eta     = flag.Duration("eta", 0, "override the window's recorded heartbeat period η")
+		minTO   = flag.Duration("min-timeout", 0, "override the recorded timeout floor (negative disables the floor)")
+		tick    = flag.Duration("tick", 0, "run detector timers on a timing wheel of this granularity (0: exact scheduling; must match the recording monitor)")
+		verify  = flag.Bool("verify", false, "verify fidelity: exit non-zero unless the recording's own combination reproduces the recorded QoS bit-identically")
+		slack   = flag.Duration("slack", 0, "with -verify, tolerate this much divergence on E[T_M]/E[T_MR] (counts stay exact); use ~1ms for windows recorded on a real clock, whose timer firings carry OS latency the idealized replay does not")
+		byMeans = flag.Bool("sort", false, "sort the grid by mistake count instead of grid order")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: fdreplay [flags] <window-file> (see -h)")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	w, err := trace.ReadWindow(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	cfg := experiment.ReplayConfig{
+		Peer:          *peer,
+		Eta:           *eta,
+		MinTimeout:    *minTO,
+		SchedulerTick: *tick,
+	}
+	if *combos != "" {
+		for _, name := range strings.Split(*combos, ",") {
+			combo, err := parseCombo(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cfg.Combos = append(cfg.Combos, combo)
+		}
+	}
+	res, err := experiment.ReplayWindow(w, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("window   [%v, %v)  peer %s  %d heartbeats\n", w.From, w.To, res.Peer, res.Samples)
+	if res.Detector != "" {
+		fmt.Printf("recorded %s  η=%v  floor=%v\n", res.Detector, w.Eta, w.MinTimeout)
+		fmt.Printf("  %s\n", qosLine(res.Recorded))
+	}
+	order := append([]string(nil), res.Order...)
+	if *byMeans {
+		sort.SliceStable(order, func(i, j int) bool {
+			return res.Replayed[order[i]].Mistakes < res.Replayed[order[j]].Mistakes
+		})
+	}
+	fmt.Println("replayed grid:")
+	for _, name := range order {
+		marker := " "
+		if name == res.Detector {
+			marker = "*"
+		}
+		fmt.Printf("%s %-16s %s\n", marker, name, qosLine(res.Replayed[name]))
+	}
+
+	if *verify {
+		if res.Detector == "" {
+			return fmt.Errorf("-verify needs a window that stamps its recording detector")
+		}
+		got, ok := res.Replayed[res.Detector]
+		if !ok {
+			return fmt.Errorf("-verify: recorded combination %s not in the replayed set (-combo filter?)", res.Detector)
+		}
+		if err := checkFidelity(res.Recorded, got, *slack); err != nil {
+			return fmt.Errorf("fidelity check FAILED for %s:\n  %w\n  recorded %+v\n  replayed %+v", res.Detector, err, res.Recorded, got)
+		}
+		if *slack > 0 {
+			fmt.Printf("fidelity check passed: %s replays within %v of the recording\n", res.Detector, *slack)
+		} else {
+			fmt.Printf("fidelity check passed: %s replays bit-identically\n", res.Detector)
+		}
+	}
+	return nil
+}
+
+// checkFidelity compares the replayed QoS against the recording. With
+// zero slack the whole snapshot must be bit-identical — the guarantee for
+// windows recorded on a deterministic (simulated) clock. With positive
+// slack the transition and mistake counts must still match exactly, but
+// the mean mistake durations may diverge by up to slack: a real clock
+// stamps a suspicion when the OS actually ran the timer, while replay
+// fires it at the ideal freshness deadline, so real recordings carry
+// sub-millisecond timer latency on T_M/T_MR that the idealized replay
+// cannot reproduce (heartbeat-driven instants, by contrast, are recorded
+// and replay exactly). P_A derives from T_M/T_MR and is not re-checked
+// under slack.
+func checkFidelity(rec, got telemetry.PeerQoS, slack time.Duration) error {
+	if slack <= 0 {
+		if got != rec {
+			return fmt.Errorf("snapshots differ (re-run with -slack for a real-clock recording)")
+		}
+		return nil
+	}
+	if got.Suspected != rec.Suspected || got.Transitions != rec.Transitions ||
+		got.Suspicions != rec.Suspicions || got.Mistakes != rec.Mistakes ||
+		got.Recurrences != rec.Recurrences {
+		return fmt.Errorf("transition counts differ")
+	}
+	tol := slack.Seconds()
+	if d := got.TMSeconds - rec.TMSeconds; d < -tol || d > tol {
+		return fmt.Errorf("E[T_M] diverges by %v (> slack %v)",
+			time.Duration((got.TMSeconds-rec.TMSeconds)*float64(time.Second)), slack)
+	}
+	if d := got.TMRSeconds - rec.TMRSeconds; d < -tol || d > tol {
+		return fmt.Errorf("E[T_MR] diverges by %v (> slack %v)",
+			time.Duration((got.TMRSeconds-rec.TMRSeconds)*float64(time.Second)), slack)
+	}
+	return nil
+}
+
+// parseCombo splits "PRED+MARGIN" into a core.Combo.
+func parseCombo(name string) (core.Combo, error) {
+	pred, margin, ok := strings.Cut(name, "+")
+	if !ok {
+		return core.Combo{}, fmt.Errorf("combination %q is not of the form PREDICTOR+MARGIN", name)
+	}
+	return core.Combo{Predictor: pred, Margin: margin}, nil
+}
+
+// qosLine renders one QoS snapshot compactly.
+func qosLine(q telemetry.PeerQoS) string {
+	return fmt.Sprintf("mistakes %3d  E[T_M] %8s  E[T_MR] %9s  P_A %.6f",
+		q.Mistakes,
+		time.Duration(q.TMSeconds*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(q.TMRSeconds*float64(time.Second)).Round(time.Microsecond),
+		q.PA)
+}

@@ -6,6 +6,7 @@ import (
 
 	"wanfd/internal/core"
 	"wanfd/internal/sim"
+	"wanfd/internal/store"
 	"wanfd/internal/telemetry"
 )
 
@@ -106,10 +107,13 @@ type callbackListener struct {
 	// reg, when non-nil, records transitions into the live telemetry
 	// subsystem (event ring, QoS estimator, gauges).
 	reg *telemetry.Registry
+	// rec, when non-nil, records transitions into the durable QoS store.
+	rec *store.PeerRecorder
 }
 
 func (l callbackListener) OnSuspect(_ string, at time.Duration) {
 	l.reg.RecordTransition(l.peer, true, at)
+	l.rec.Transition(true, at)
 	if l.onSuspect != nil {
 		l.onSuspect(at)
 	}
@@ -120,6 +124,7 @@ func (l callbackListener) OnSuspect(_ string, at time.Duration) {
 
 func (l callbackListener) OnTrust(_ string, at time.Duration) {
 	l.reg.RecordTransition(l.peer, false, at)
+	l.rec.Transition(false, at)
 	if l.onTrust != nil {
 		l.onTrust(at)
 	}

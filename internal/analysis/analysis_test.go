@@ -187,6 +187,34 @@ func TestClockUseSanctionsFreelist(t *testing.T) {
 	}
 }
 
+// TestClockUseCoversStore pins the inverse of the sanction tests: the
+// durable QoS store's import path (internal/store) is deliberately NOT on
+// the clock-boundary exemption list — everything it persists is a
+// detector timestamp — so the seeded time.Now and time.Since reads in the
+// fixture must each produce a diagnostic.
+func TestClockUseCoversStore(t *testing.T) {
+	a := ByName("clockuse")
+	if a == nil {
+		t.Fatal("unknown analyzer clockuse")
+	}
+	dir := filepath.ToSlash(filepath.Join(
+		"internal", "analysis", "testdata", "src", "clockuse_store", "internal", "store"))
+	prog, err := Load(moduleRoot, []string{dir})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	diags := prog.Run([]*Analyzer{a})
+	if len(diags) != 2 {
+		t.Fatalf("unsanctioned internal/store produced %d diagnostics, want 2 (time.Now and time.Since):\n%s",
+			len(diags), render(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "clockuse" {
+			t.Errorf("diagnostic from %q, want clockuse: %s", d.Analyzer, d)
+		}
+	}
+}
+
 // TestRepoIsClean runs the full suite over the repository itself — the
 // tree must stay free of findings so the lint gate in CI holds. Skipped in
 // -short mode: loading every package (and its stdlib imports, from source)

@@ -27,6 +27,13 @@ var ClockUse = &Analyzer{
 // sched: it stores opaque payloads and can never launder a detector
 // timestamp, so aging/decay policies may read the monotonic clock
 // directly.
+//
+// internal/store is deliberately NOT on this list: every instant the
+// durable QoS store persists is a detector timestamp on the injected
+// clock's timeline, so a wall-clock read there would mix time bases in
+// the on-disk record (and break replay fidelity). Its retention policy is
+// data-driven (age measured against the newest record) for exactly this
+// reason.
 var clockExemptSuffixes = []string{
 	"internal/sim",
 	"internal/clock",

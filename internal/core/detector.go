@@ -7,6 +7,7 @@ import (
 
 	"wanfd/internal/sched"
 	"wanfd/internal/sim"
+	"wanfd/internal/store"
 	"wanfd/internal/telemetry"
 )
 
@@ -69,6 +70,12 @@ type DetectorConfig struct {
 	// bundle disables instrumentation at the cost of one branch per
 	// heartbeat.
 	Metrics *telemetry.DetectorMetrics
+	// Sample, when non-nil, receives every heartbeat observation (stale
+	// ones included — they are delay observations too) for the durable
+	// QoS store. The recorder's push is a bounded lock-free ring write:
+	// zero allocations, never blocking, so the tap costs the hot path one
+	// branch when disabled and one ring push when enabled.
+	Sample *store.PeerRecorder
 }
 
 // Detector is the paper's modular push-style failure detector (§2.3): it
@@ -93,6 +100,7 @@ type Detector struct {
 	clock      sim.Clock
 	listener   SuspicionListener
 	metrics    *telemetry.DetectorMetrics
+	sample     *store.PeerRecorder
 
 	mu        sync.Mutex
 	hi        int64 // highest sequence received; -1 before the first
@@ -142,6 +150,7 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 		clock:      cfg.Clock,
 		listener:   cfg.Listener,
 		metrics:    cfg.Metrics,
+		sample:     cfg.Sample,
 		hi:         -1,
 	}
 	// One rearmable timer for the detector's lifetime: on a timing-wheel
@@ -189,6 +198,9 @@ func (d *Detector) OnHeartbeat(seq int64, sendTime, now time.Duration) {
 		if d.suspected {
 			m.Late.Inc()
 		}
+	}
+	if r := d.sample; r != nil {
+		r.Sample(seq, sendTime, now)
 	}
 
 	if seq <= d.hi {

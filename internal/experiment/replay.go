@@ -1,0 +1,246 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wanfd/internal/core"
+	"wanfd/internal/nekostat"
+	"wanfd/internal/sched"
+	"wanfd/internal/sim"
+	"wanfd/internal/telemetry"
+	"wanfd/internal/trace"
+)
+
+// ReplayConfig parameterizes ReplayWindow.
+type ReplayConfig struct {
+	// Combos lists the detector combinations to replay the window through
+	// (default: the paper's 30).
+	Combos []core.Combo
+	// Peer selects which peer's heartbeat stream to replay when the window
+	// holds several; empty selects the window's sole peer (an error when
+	// ambiguous).
+	Peer string
+	// Eta overrides the window's recorded heartbeat period (0 keeps it).
+	Eta time.Duration
+	// MinTimeout overrides the window's recorded timeout floor: 0 keeps
+	// the recorded floor, negative disables the floor (the paper's
+	// detectors), positive is the floor itself.
+	MinTimeout time.Duration
+	// SchedulerTick, when positive, runs the replayed detectors' freshness
+	// timers on a sched.Wheel of that granularity (the production cluster
+	// scheduler); zero keeps the engine's exact heap scheduling — the
+	// choice must match the recording monitor's scheduler for bit-exact
+	// fidelity.
+	SchedulerTick time.Duration
+}
+
+// ReplayResult is the outcome of replaying one exported window.
+type ReplayResult struct {
+	// Peer is the replayed peer's name.
+	Peer string
+	// Detector names the recording monitor's live combination (from the
+	// window header); empty when the export did not stamp one.
+	Detector string
+	// Samples is the number of heartbeat observations replayed.
+	Samples int
+	// Recorded is the QoS the recorded suspicion events imply — the live
+	// monitor's own output over the window, reconstructed through the same
+	// running estimator the live telemetry uses.
+	Recorded telemetry.PeerQoS
+	// Replayed maps each combination name to the QoS its detector produced
+	// when fed the recorded heartbeat stream. For the combination matching
+	// Detector, an undisturbed recording replays bit-identically to
+	// Recorded.
+	Replayed map[string]telemetry.PeerQoS
+	// Order lists combination names in grid order.
+	Order []string
+}
+
+// replayListener adapts one replayed detector's transitions into a running
+// QoS estimator keyed by the replayed peer — the identical accounting the
+// live telemetry applies, so replayed and recorded QoS compare field for
+// field.
+type replayListener struct {
+	est  *telemetry.QoSEstimator
+	peer string
+}
+
+func (l replayListener) OnSuspect(_ string, at time.Duration) {
+	l.est.OnTransition(l.peer, true, at)
+}
+
+func (l replayListener) OnTrust(_ string, at time.Duration) {
+	l.est.OnTransition(l.peer, false, at)
+}
+
+// ReplayWindow feeds an exported QoS-history window through a grid of
+// freshly bootstrapped detectors on a virtual-time engine: every recorded
+// heartbeat of the selected peer is re-delivered at its recorded receive
+// instant (rebased so the window start is instant zero), and each
+// detector's suspicion output is accumulated into the same running QoS
+// estimator the live monitor uses. The engine is deterministic, so two
+// replays of one window are identical — and a replay through the
+// recording monitor's own combination reproduces the recorded suspicion
+// timeline exactly, provided the recording started at the window start
+// (detector state is path-dependent, so a mid-session window replays the
+// stream into colder detectors than the live ones were).
+func ReplayWindow(w *trace.Window, cfg ReplayConfig) (*ReplayResult, error) {
+	if w == nil {
+		return nil, fmt.Errorf("experiment: nil replay window")
+	}
+	if cfg.SchedulerTick < 0 {
+		return nil, fmt.Errorf("experiment: negative SchedulerTick %v", cfg.SchedulerTick)
+	}
+	combos := cfg.Combos
+	if len(combos) == 0 {
+		combos = core.AllCombos()
+	}
+	eta := cfg.Eta
+	if eta == 0 {
+		eta = w.Eta
+	}
+	if eta <= 0 {
+		return nil, fmt.Errorf("experiment: replay needs a positive eta (window header has %v)", w.Eta)
+	}
+	minTimeout := w.MinTimeout
+	switch {
+	case cfg.MinTimeout > 0:
+		minTimeout = cfg.MinTimeout
+	case cfg.MinTimeout < 0:
+		minTimeout = 0
+	}
+
+	peer, err := resolveReplayPeer(w, cfg.Peer)
+	if err != nil {
+		return nil, err
+	}
+	base := w.From
+
+	// One fresh detector per combination, all fed the identical stream.
+	eng := sim.NewEngine()
+	detClock := sim.Clock(eng)
+	if cfg.SchedulerTick > 0 {
+		detClock = sched.NewWheel(sched.Config{Clock: eng, Tick: cfg.SchedulerTick})
+	}
+	type member struct {
+		det *core.Detector
+		est *telemetry.QoSEstimator
+	}
+	members := make([]member, 0, len(combos))
+	order := make([]string, 0, len(combos))
+	for _, combo := range combos {
+		pred, margin, err := combo.Build()
+		if err != nil {
+			return nil, err
+		}
+		est := telemetry.NewQoSEstimator()
+		det, err := core.NewDetector(core.DetectorConfig{
+			Name:       combo.Name(),
+			Predictor:  pred,
+			Margin:     margin,
+			Eta:        eta,
+			Clock:      detClock,
+			Listener:   replayListener{est: est, peer: peer},
+			MinTimeout: minTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, member{det: det, est: est})
+		order = append(order, combo.Name())
+	}
+
+	// Re-deliver the peer's heartbeats at their recorded receive instants;
+	// one engine event fans each observation across the whole grid, in grid
+	// order, so the schedule is deterministic.
+	samples := make([]trace.Sample, 0, len(w.Samples))
+	for _, s := range w.Samples {
+		if s.Peer == peer {
+			samples = append(samples, s)
+		}
+	}
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].Recv < samples[j].Recv })
+	for _, s := range samples {
+		s := s
+		eng.At(s.Recv-base, func() {
+			for _, m := range members {
+				m.det.OnHeartbeat(s.Seq, s.Send-base, s.Recv-base)
+			}
+		})
+	}
+	if err := eng.Run(w.To - base); err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		m.det.Stop()
+	}
+
+	res := &ReplayResult{
+		Peer:     peer,
+		Detector: w.Detector,
+		Samples:  len(samples),
+		Recorded: recordedQoS(w, peer),
+		Replayed: make(map[string]telemetry.PeerQoS, len(members)),
+		Order:    order,
+	}
+	for i, m := range members {
+		q, ok := m.est.Peer(peer)
+		if !ok {
+			// The detector never transitioned over the window: a clean
+			// stream. Report the estimator's empty snapshot (P_A = 1).
+			q = telemetry.PeerQoS{Peer: peer, PA: 1}
+		}
+		res.Replayed[order[i]] = q
+	}
+	return res, nil
+}
+
+// resolveReplayPeer picks the peer whose stream is replayed.
+func resolveReplayPeer(w *trace.Window, want string) (string, error) {
+	seen := make(map[string]bool)
+	var peers []string
+	for _, s := range w.Samples {
+		if !seen[s.Peer] {
+			seen[s.Peer] = true
+			peers = append(peers, s.Peer)
+		}
+	}
+	sort.Strings(peers)
+	if want != "" {
+		if !seen[want] {
+			return "", fmt.Errorf("experiment: window has no samples for peer %q (peers: %v)", want, peers)
+		}
+		return want, nil
+	}
+	switch len(peers) {
+	case 0:
+		return "", fmt.Errorf("experiment: window holds no heartbeat samples")
+	case 1:
+		return peers[0], nil
+	default:
+		return "", fmt.Errorf("experiment: window holds %d peers %v; select one with ReplayConfig.Peer", len(peers), peers)
+	}
+}
+
+// recordedQoS reconstructs the live monitor's QoS over the window from the
+// recorded suspicion events, through the identical running estimator —
+// the ground truth a replay is compared against. Times are rebased like
+// the replay's, which the difference-based T_M/T_MR accounting cancels.
+func recordedQoS(w *trace.Window, peer string) telemetry.PeerQoS {
+	est := telemetry.NewQoSEstimator()
+	q := telemetry.PeerQoS{Peer: peer, PA: 1}
+	for _, e := range w.Events {
+		if e.Source != peer {
+			continue
+		}
+		switch e.Kind {
+		case nekostat.KindStartSuspect:
+			q = est.OnTransition(peer, true, e.At-w.From)
+		case nekostat.KindEndSuspect:
+			q = est.OnTransition(peer, false, e.At-w.From)
+		}
+	}
+	return q
+}

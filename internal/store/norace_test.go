@@ -1,0 +1,6 @@
+//go:build !race
+
+package store
+
+// raceEnabled relaxes allocation assertions when the race detector is on.
+const raceEnabled = false

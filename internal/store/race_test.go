@@ -1,0 +1,7 @@
+//go:build race
+
+package store
+
+// raceEnabled relaxes allocation assertions when the race detector is on:
+// its instrumentation makes testing.AllocsPerRun meaningless.
+const raceEnabled = true

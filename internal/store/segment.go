@@ -1,0 +1,230 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// recordKind tags one on-disk record. The values are part of the segment
+// format and must never be renumbered.
+type recordKind uint8
+
+const (
+	// recPeerDef maps a peer id to its name. The writer emits one before a
+	// peer's first data record of every segment, so each segment names its
+	// own peers and retention may delete any prefix of segments without
+	// orphaning ids.
+	recPeerDef recordKind = 1
+	// recSample is one heartbeat delay observation: Seq, send time (T1)
+	// and receive time (T2), both in session-elapsed nanoseconds.
+	recSample recordKind = 2
+	// recStartSuspect / recEndSuspect are one detector output transition
+	// at T1.
+	recStartSuspect recordKind = 3
+	recEndSuspect   recordKind = 4
+	// recCrash / recRestore are ground-truth process lifecycle marks at T1
+	// (injected by harnesses; a live monitor has none). Peer is 0: crashes
+	// are global events, matching nekostat's convention of an empty Source.
+	recCrash   recordKind = 5
+	recRestore recordKind = 6
+)
+
+// Record is the fixed-size value the hot path enqueues and the writer
+// persists. Samples carry send/receive nanoseconds in T1/T2; transitions
+// and crash marks carry their instant in T1.
+type Record struct {
+	Kind recordKind
+	Peer uint32
+	Seq  int64
+	T1   int64
+	T2   int64
+}
+
+// at returns the record's position on the session timeline, used for
+// segment min/max indexing and windowing: the receive instant for samples,
+// the transition instant otherwise.
+func (r Record) at() time.Duration {
+	if r.Kind == recSample {
+		return time.Duration(r.T2)
+	}
+	return time.Duration(r.T1)
+}
+
+// Segment file format, version 1.
+//
+//	header:  "WFDSEG01" | epoch int64 LE      (16 bytes)
+//	frame:   len uint8 | payload | crc32c(payload) uint32 LE
+//	payload: kind uint8 | peer uint32 LE | seq int64 LE | t1 int64 LE | t2 int64 LE   (29 bytes)
+//	peerDef: kind uint8 | peer uint32 LE | name bytes                  (variable, ≤ 255)
+//
+// The epoch is the absolute (unix nanoseconds) origin of the session's
+// elapsed timeline, so segments from different monitor sessions remain
+// comparable. A torn tail — a frame cut short by a crash, or one whose
+// CRC does not match — ends the valid prefix; reopen truncates it.
+const (
+	segMagic        = "WFDSEG01"
+	segHeaderSize   = 16
+	fixedPayloadLen = 1 + 4 + 8 + 8 + 8
+	frameOverhead   = 1 + 4 // length byte + CRC32C
+	// maxPeerName bounds names so a peerDef payload fits the one-byte
+	// frame length.
+	maxPeerName = 255 - 5
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errBadHeader marks a segment whose header is missing or corrupt; its
+// frames are unreadable.
+var errBadHeader = errors.New("store: bad segment header")
+
+// segMeta is the in-memory index entry of one segment. minAt/maxAt are in
+// the segment's own epoch's elapsed time; -1 while the segment holds no
+// timed record.
+type segMeta struct {
+	seq     uint64
+	path    string
+	epoch   int64
+	bytes   int64 // valid (CRC-checked) bytes, including the header
+	records uint64
+	minAt   time.Duration
+	maxAt   time.Duration
+}
+
+// segName formats a segment sequence number as its file name.
+func segName(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.seg", seq))
+}
+
+// parseSegName inverts segName for one directory entry.
+func parseSegName(name string) (uint64, bool) {
+	if len(name) != 12 || filepath.Ext(name) != ".seg" {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range name[:8] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// appendFrame encodes one fixed-size record as a CRC-framed payload.
+func appendFrame(dst []byte, r Record) []byte {
+	dst = append(dst, fixedPayloadLen)
+	start := len(dst)
+	dst = append(dst, byte(r.Kind))
+	dst = binary.LittleEndian.AppendUint32(dst, r.Peer)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Seq))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.T1))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.T2))
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// appendDefFrame encodes one peer-definition record.
+func appendDefFrame(dst []byte, id uint32, name string) []byte {
+	if len(name) > maxPeerName {
+		name = name[:maxPeerName]
+	}
+	dst = append(dst, byte(5+len(name)))
+	start := len(dst)
+	dst = append(dst, byte(recPeerDef))
+	dst = binary.LittleEndian.AppendUint32(dst, id)
+	dst = append(dst, name...)
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// decodeFrame decodes the frame at the head of b. It returns the record,
+// the peer name (peerDef frames only), the encoded length, and whether the
+// frame is whole and CRC-clean — false marks the start of a torn tail.
+func decodeFrame(b []byte) (Record, string, int, bool) {
+	var rec Record
+	if len(b) < 1 {
+		return rec, "", 0, false
+	}
+	l := int(b[0])
+	if l < 1 || len(b) < 1+l+4 {
+		return rec, "", 0, false
+	}
+	payload := b[1 : 1+l]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[1+l:1+l+4]) {
+		return rec, "", 0, false
+	}
+	rec.Kind = recordKind(payload[0])
+	name := ""
+	switch rec.Kind {
+	case recPeerDef:
+		if l < 5 {
+			return rec, "", 0, false
+		}
+		rec.Peer = binary.LittleEndian.Uint32(payload[1:5])
+		name = string(payload[5:])
+	case recSample, recStartSuspect, recEndSuspect, recCrash, recRestore:
+		if l != fixedPayloadLen {
+			return rec, "", 0, false
+		}
+		rec.Peer = binary.LittleEndian.Uint32(payload[1:5])
+		rec.Seq = int64(binary.LittleEndian.Uint64(payload[5:13]))
+		rec.T1 = int64(binary.LittleEndian.Uint64(payload[13:21]))
+		rec.T2 = int64(binary.LittleEndian.Uint64(payload[21:29]))
+	default:
+		return rec, "", 0, false
+	}
+	return rec, name, 1 + l + 4, true
+}
+
+// scanSegment reads a segment file and streams its valid records through
+// fn (which may be nil to index only). limit, when non-negative, bounds
+// how many bytes are considered — the reader's consistent snapshot of a
+// segment the writer is still appending to. The returned meta's bytes
+// field is the length of the valid prefix; scanning stops silently at the
+// first torn or corrupt frame.
+func scanSegment(path string, limit int64, fn func(rec Record, name string) error) (*segMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if limit >= 0 && int64(len(data)) > limit {
+		data = data[:limit]
+	}
+	meta := &segMeta{path: path, minAt: -1, maxAt: -1}
+	if len(data) < segHeaderSize || string(data[:8]) != segMagic {
+		return meta, errBadHeader
+	}
+	meta.epoch = int64(binary.LittleEndian.Uint64(data[8:16]))
+	off := segHeaderSize
+	for off < len(data) {
+		rec, name, n, ok := decodeFrame(data[off:])
+		if !ok {
+			break
+		}
+		off += n
+		meta.records++
+		if rec.Kind != recPeerDef {
+			at := rec.at()
+			if meta.minAt < 0 || at < meta.minAt {
+				meta.minAt = at
+			}
+			if at > meta.maxAt {
+				meta.maxAt = at
+			}
+		}
+		if fn != nil {
+			if err := fn(rec, name); err != nil {
+				meta.bytes = int64(off)
+				return meta, err
+			}
+		}
+	}
+	meta.bytes = int64(off)
+	return meta, nil
+}

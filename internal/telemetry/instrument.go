@@ -55,6 +55,13 @@ const (
 	MetricSchedCascades = "wanfd_sched_cascades_total"
 	MetricSchedMaxSlot  = "wanfd_sched_max_slot_occupancy"
 	MetricSchedBatchLag = "wanfd_sched_batch_lag_seconds"
+
+	MetricStoreRecords  = "wanfd_store_records_total"
+	MetricStoreDropped  = "wanfd_store_dropped_total"
+	MetricStoreIOErrors = "wanfd_store_io_errors_total"
+	MetricStoreSegments = "wanfd_store_segments"
+	MetricStoreBytes    = "wanfd_store_bytes"
+	MetricStoreQueue    = "wanfd_store_queue_depth"
 )
 
 // DetectorMetrics is the handle bundle the freshness-point detector hot

@@ -12,6 +12,7 @@ import (
 	"wanfd/internal/neko"
 	"wanfd/internal/sched"
 	"wanfd/internal/sim"
+	"wanfd/internal/store"
 	"wanfd/internal/telemetry"
 	"wanfd/internal/transport"
 )
@@ -136,10 +137,12 @@ type namedListener struct {
 	name     string
 	onChange func(peer string, suspected bool, elapsed time.Duration)
 	reg      *telemetry.Registry
+	rec      *store.PeerRecorder
 }
 
 func (l namedListener) OnSuspect(_ string, at time.Duration) {
 	l.reg.RecordTransition(l.name, true, at)
+	l.rec.Transition(true, at)
 	if l.onChange != nil {
 		l.onChange(l.name, true, at)
 	}
@@ -147,6 +150,7 @@ func (l namedListener) OnSuspect(_ string, at time.Duration) {
 
 func (l namedListener) OnTrust(_ string, at time.Duration) {
 	l.reg.RecordTransition(l.name, false, at)
+	l.rec.Transition(false, at)
 	if l.onChange != nil {
 		l.onChange(l.name, false, at)
 	}
@@ -190,6 +194,7 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		opts:   o,
 	}
 	mm.router.Instrument(o.telemetry)
+	o.qstore.Instrument(o.telemetry)
 	if reg := o.telemetry; reg != nil {
 		mm.mPeers = reg.Gauge(telemetry.MetricPeers, "Current cluster membership size.")
 		mm.mPeerAdds = reg.Counter(telemetry.MetricPeerAdds, "Peers added to the cluster monitor.")
@@ -295,15 +300,20 @@ func (m *MultiMonitor) AddPeer(name, addr string) error {
 	if err != nil {
 		return err
 	}
+	// One durable-store recorder per peer: the detector taps it for every
+	// heartbeat sample, the listener for every transition. Nil (a no-op)
+	// when the monitor was built without WithStore.
+	rec := m.opts.qstore.Recorder(name)
 	det, err := core.NewDetector(core.DetectorConfig{
 		Name:       name,
 		Predictor:  pred,
 		Margin:     margin,
 		Eta:        m.opts.eta,
 		Clock:      m.clockFor(name),
-		Listener:   namedListener{name: name, onChange: m.opts.onChange, reg: m.opts.telemetry},
+		Listener:   namedListener{name: name, onChange: m.opts.onChange, reg: m.opts.telemetry, rec: rec},
 		MinTimeout: m.opts.minTimeout,
 		Metrics:    m.opts.telemetry.DetectorMetrics(name),
+		Sample:     rec,
 	})
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"wanfd/internal/store"
 	"wanfd/internal/telemetry"
 )
 
@@ -39,6 +40,7 @@ type options struct {
 	onTrust          func(elapsed time.Duration)
 	peers            []peerSpec
 	telemetry        *telemetry.Registry
+	qstore           *store.Store
 	// timerWheelOff is inverted so the zero value (also produced by the
 	// legacy ListenAndMonitorMany path, which builds options directly)
 	// keeps the timing wheel enabled by default.
@@ -61,10 +63,15 @@ type options struct {
 // peerSpec is one initial cluster member.
 type peerSpec struct{ name, addr string }
 
-// defaultMinTimeout is the adaptive-timeout floor applied when none is
+// DefaultMinTimeout is the adaptive-timeout floor applied when none is
 // requested; it rides out the bootstrap phase on real hosts (see
-// core.DetectorConfig.MinTimeout).
-const defaultMinTimeout = 10 * time.Millisecond
+// core.DetectorConfig.MinTimeout). WithMinTimeout overrides it; replay
+// tooling (cmd/fdreplay) needs the exported constant to reproduce a live
+// monitor's default configuration exactly.
+const DefaultMinTimeout = 10 * time.Millisecond
+
+// defaultMinTimeout is the internal alias predating the export.
+const defaultMinTimeout = DefaultMinTimeout
 
 // normalize applies the shared defaulting conventions. This is the one
 // place the sentinel rules live:
@@ -185,6 +192,21 @@ func WithPeer(name, addr string) Option {
 // internal/telemetry.Mount for embedding it elsewhere.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(o *options) { o.telemetry = reg }
+}
+
+// WithStore attaches a durable QoS store: every heartbeat delay sample and
+// every suspicion transition is appended (off the hot path, through a
+// bounded lock-free ring) to the store's on-disk segment log, where the
+// windowed query API (Store.Query/Store.Export) can reconstruct the QoS
+// metrics of any past time window. Both NewMonitor and NewMultiMonitor
+// support it.
+//
+// The monitor does NOT close the store — one store may outlive (or be
+// shared by) several monitors, so lifecycle stays with the caller: close
+// the monitor first, then st.Close(). A nil st disables durable history
+// (the hot path pays only a nil-check branch).
+func WithStore(st *store.Store) Option {
+	return func(o *options) { o.qstore = st }
 }
 
 // TransportMode selects the monitor's transport and scheduler

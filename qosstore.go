@@ -1,0 +1,54 @@
+package wanfd
+
+import "wanfd/internal/store"
+
+// Store is the durable QoS history: an append-only, crash-safe, on-disk
+// segment log of heartbeat delay samples and suspicion transitions, with a
+// windowed query API that reconstructs the paper's QoS metrics (T_D, T_M,
+// T_MR, P_A and the delay distribution) over any past time interval — not
+// just the running totals the live telemetry gauges expose.
+//
+// Attach a store to a monitor with WithStore. The write path is a bounded
+// lock-free ring drained by one background goroutine: it never blocks the
+// heartbeat hot path and allocates nothing at steady state; under overload
+// it drops (and counts) records rather than applying backpressure.
+//
+// The caller owns the store's lifecycle: close monitors first, then the
+// store. See StoreConfig for the knobs and internal/store for the on-disk
+// format (DESIGN.md §12).
+type Store = store.Store
+
+// StoreConfig configures OpenStore. Only Dir is required; the zero value
+// of every other field selects a sensible default (4 MiB segments,
+// unbounded retention, 8192-slot queue).
+type StoreConfig = store.Config
+
+// StoreStats is a snapshot of a store's counters (records appended,
+// dropped, I/O errors, segment/byte totals, queue depth). The zero value —
+// with Enabled false — is what Stats reports when no store is attached.
+type StoreStats = store.Stats
+
+// WindowReport is the result of a windowed QoS query: per-peer delay
+// summaries and QoS metrics over [From, To).
+type WindowReport = store.WindowReport
+
+// PeerWindow is one peer's slice of a WindowReport.
+type PeerWindow = store.PeerWindow
+
+// QoSWindow holds the paper's QoS metrics reconstructed over a query
+// window, following the same conventions as the offline analyzer
+// (internal/nekostat): detection time T_D, mistake durations T_M,
+// inter-mistake recurrence times T_MR, and query accuracy P_A.
+type QoSWindow = store.QoSWindow
+
+// ErrStoreDisabled is returned by Query/Export on a nil store.
+var ErrStoreDisabled = store.ErrDisabled
+
+// OpenStore opens (creating or recovering) a durable QoS store rooted at
+// cfg.Dir. Reopening an existing directory truncates any torn tail the
+// previous process left mid-write and continues in a fresh segment; all
+// fsynced records survive. The returned store is idle until attached to a
+// monitor with WithStore (or fed directly through Store.Recorder).
+func OpenStore(cfg StoreConfig) (*Store, error) {
+	return store.Open(cfg)
+}

@@ -31,6 +31,9 @@ type Stats struct {
 	Egress EgressStats
 	// Scheduler aggregates the shard timing wheels of a cluster monitor.
 	Scheduler SchedulerStats
+	// Store is the durable QoS store's counters; zero (Enabled false) when
+	// no store is attached (WithStore absent).
+	Store StoreStats
 }
 
 // Stats returns the unified snapshot for this monitor. Scheduler is zero:
@@ -41,6 +44,7 @@ func (m *Monitor) Stats() Stats {
 		Detector: m.DetectorStats(),
 		Ingest:   m.net.IngestStats(),
 		Egress:   m.net.EgressStats(),
+		Store:    m.store.Stats(),
 	}
 }
 
@@ -65,6 +69,7 @@ func (m *MultiMonitor) Stats() Stats {
 		Ingest:    m.net.IngestStats(),
 		Egress:    m.net.EgressStats(),
 		Scheduler: m.SchedulerStats(),
+		Store:     m.opts.qstore.Stats(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"wanfd/internal/core"
 	"wanfd/internal/layers"
 	"wanfd/internal/neko"
+	"wanfd/internal/store"
 	"wanfd/internal/telemetry"
 	"wanfd/internal/transport"
 )
@@ -49,9 +50,10 @@ type MonitorConfig struct {
 
 // Monitor is a running UDP failure detector.
 type Monitor struct {
-	net *transport.UDPNetwork
-	mon *layers.Monitor
-	reg *telemetry.Registry
+	net   *transport.UDPNetwork
+	mon   *layers.Monitor
+	reg   *telemetry.Registry
+	store *store.Store
 }
 
 // Process ids used by the UDP harness (one heartbeater, one monitor).
@@ -125,12 +127,18 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 			return nil, fmt.Errorf("wanfd: clock sync: %w", err)
 		}
 	}
+	// One durable-store recorder for the single monitored peer, labeled by
+	// the remote address like the telemetry series; nil (a no-op) without
+	// WithStore.
+	rec := o.qstore.Recorder(remote)
+	o.qstore.Instrument(o.telemetry)
 	listener := callbackListener{
 		onSuspect: o.onSuspect,
 		onTrust:   o.onTrust,
 		onChange:  o.onChange,
 		peer:      remote,
 		reg:       o.telemetry,
+		rec:       rec,
 	}
 	var consumer core.HeartbeatConsumer
 	if o.accrualThreshold > 0 {
@@ -160,6 +168,7 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 			Listener:   listener,
 			MinTimeout: o.minTimeout,
 			Metrics:    o.telemetry.DetectorMetrics(remote),
+			Sample:     rec,
 		})
 		if err != nil {
 			return nil, err
@@ -204,7 +213,7 @@ func newUDPMonitor(listen, remote string, o options) (*Monitor, error) {
 		return nil, err
 	}
 	ok = true
-	return &Monitor{net: net, mon: mon, reg: o.telemetry}, nil
+	return &Monitor{net: net, mon: mon, reg: o.telemetry, store: o.qstore}, nil
 }
 
 // Suspected reports the detector's current output.
