@@ -29,7 +29,7 @@ bench:
 # gated (CI noise).
 benchguard:
 	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_ingest.json
-	$(GO) test -run '^$$' -bench 'BenchmarkEgress|BenchmarkPipeline100k' -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_egress.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEgress|BenchmarkPipeline' -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_egress.json
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster1k/steady/sharded|BenchmarkCluster10k' -benchtime 20000x . | $(GO) run ./cmd/benchguard -baseline BENCH_sched.json
 
 fmt:

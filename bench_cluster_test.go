@@ -372,6 +372,11 @@ func BenchmarkCluster10k(b *testing.B) {
 // exist at 1k/10k where their cost is already measured.
 const benchCluster100kPeers = 102400
 
+// benchCluster1MPeers sizes the memory-layout tier: 2^20 peers, the
+// arena-backed shard refactor's acceptance target. Each peer is a unique
+// loopback address (benchPeerAddr walks 127/8, which holds ~16M hosts).
+const benchCluster1MPeers = 1 << 20
+
 // BenchmarkCluster100k drives the dispatch + deadline-re-arm path at 100k
 // members on the shard wheels. The timers metric confirms every member's
 // deadline stays armed; goroutines confirms the scheduling footprint stays

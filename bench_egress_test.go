@@ -124,17 +124,16 @@ func BenchmarkEgress100k(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { runEgressBench(b, benchCluster100kPeers, true) })
 }
 
-// BenchmarkPipeline100k is the combined scale test the tentpole asks for:
-// one endpoint serving 102400 peers in both directions at once. Each op
+// runPipelineBench is the combined both-directions scale runner: one
+// endpoint serving `peers` peers in both directions at once. Each op
 // sends one heartbeat through the batched egress AND injects one received
 // heartbeat through the batched ingest, so the flusher, the drain
 // consumers and the producer all contend for the same cores. The run
 // fails on any malformed packet, ring drop or send error — completion
-// means both pipelines sustained 100k peers with bounded lag and zero
-// unexplained loss.
-func BenchmarkPipeline100k(b *testing.B) {
-	const peers = benchCluster100kPeers
-	mm, err := NewMultiMonitor("127.0.0.1:0")
+// means both pipelines sustained the peer count with bounded lag and
+// zero unexplained loss.
+func runPipelineBench(b *testing.B, peers int, opts ...Option) {
+	mm, err := NewMultiMonitor("127.0.0.1:0", opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -204,4 +203,22 @@ func BenchmarkPipeline100k(b *testing.B) {
 	if st.Flushes > 0 {
 		b.ReportMetric(float64(st.Packets)/float64(st.Flushes), "batch")
 	}
+}
+
+// BenchmarkPipeline100k is the combined scale test at 102400 peers on
+// the default scale profile.
+func BenchmarkPipeline100k(b *testing.B) {
+	runPipelineBench(b, benchCluster100kPeers)
+}
+
+// BenchmarkPipeline1M is the memory-layout acceptance test: 1,048,576
+// peers held in the arena-backed shards, driven in both directions at
+// once on the 1M scale profile (64-way peer/ingest tables, 32-way
+// egress, 1024-slot wheels). The lag bounds plus the drop/error fatals
+// make completion itself the lossless proof; steady state must stay at
+// 0 allocs/op — the arena, the open-addressed tables, the rings and the
+// message pools between them recycle everything.
+func BenchmarkPipeline1M(b *testing.B) {
+	runPipelineBench(b, benchCluster1MPeers,
+		WithPipeline(PipelineConfig{ExpectedPeers: benchCluster1MPeers}))
 }

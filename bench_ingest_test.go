@@ -158,3 +158,14 @@ func BenchmarkIngest10k(b *testing.B) {
 func BenchmarkIngest100k(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { runIngestBench(b, benchCluster100kPeers, true) })
 }
+
+// BenchmarkIngest1M is the receive half of the memory-layout tier:
+// 1,048,576 peers on the 1M scale profile, batched pipeline only. The
+// per-op cost isolates the arena-table attribution path (64-way byAddr
+// lookup → arena record) at full table population.
+func BenchmarkIngest1M(b *testing.B) {
+	b.Run("batched", func(b *testing.B) {
+		runIngestBench(b, benchCluster1MPeers, true,
+			WithPipeline(PipelineConfig{ExpectedPeers: benchCluster1MPeers}))
+	})
+}

@@ -1,0 +1,105 @@
+package wanfd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestScaleProfileTiers pins the geometry each expected-peer tier
+// selects: the default tier must stay byte-for-byte what pre-profile
+// monitors ran with, and the larger tiers must widen every axis.
+func TestScaleProfileTiers(t *testing.T) {
+	cases := []struct {
+		peers int
+		want  scaleProfile
+	}{
+		{0, scaleProfile{peerShards: 16, ingestShards: 16, egressShards: 8, routerShards: 16}},
+		{1 << 15, scaleProfile{peerShards: 16, ingestShards: 16, egressShards: 8, routerShards: 16}},
+		{1<<15 + 1, scaleProfile{peerShards: 32, ingestShards: 32, egressShards: 16, routerShards: 32, fineSlots: 512, coarseSlots: 128}},
+		{1 << 18, scaleProfile{peerShards: 32, ingestShards: 32, egressShards: 16, routerShards: 32, fineSlots: 512, coarseSlots: 128}},
+		{1<<18 + 1, scaleProfile{peerShards: 64, ingestShards: 64, egressShards: 32, routerShards: 64, fineSlots: 1024, coarseSlots: 256}},
+		{1 << 20, scaleProfile{peerShards: 64, ingestShards: 64, egressShards: 32, routerShards: 64, fineSlots: 1024, coarseSlots: 256}},
+	}
+	for _, c := range cases {
+		if got := profileFor(c.peers); got != c.want {
+			t.Errorf("profileFor(%d) = %+v, want %+v", c.peers, got, c.want)
+		}
+	}
+}
+
+// TestMonitorScaleProfileWiring proves WithPipeline's ExpectedPeers
+// actually reaches the monitor: the shard slice and wheel count follow
+// the selected tier, not the defaults.
+func TestMonitorScaleProfileWiring(t *testing.T) {
+	addrs := freeUDPPorts(t, 1)
+	mon, err := NewMultiMonitor(addrs[0], WithPipeline(PipelineConfig{ExpectedPeers: 1 << 17}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if len(mon.shards) != 32 || len(mon.wheels) != 32 {
+		t.Fatalf("100k-tier monitor has %d shards / %d wheels, want 32/32", len(mon.shards), len(mon.wheels))
+	}
+	if st := mon.SchedulerStats(); st.Wheels != 32 {
+		t.Fatalf("scheduler reports %d wheels, want 32", st.Wheels)
+	}
+}
+
+// TestMultiMonitorChurnCompaction cycles the full peer set through
+// AddPeer/RemovePeer and asserts the per-shard arenas and tables return
+// to baseline each time: zero live entries after a drain, tombstones
+// compacted below cap/4, probe lengths bounded, and no capacity ratchet
+// across identical cycles.
+func TestMultiMonitorChurnCompaction(t *testing.T) {
+	addrs := freeUDPPorts(t, 1)
+	mon, err := NewMultiMonitor(addrs[0], WithEta(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	const (
+		cycles = 4
+		peers  = 512
+	)
+	caps := make([]int, len(mon.shards))
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < peers; i++ {
+			name := fmt.Sprintf("churn-%04d", i)
+			if err := mon.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 40001+i)); err != nil {
+				t.Fatalf("cycle %d add %s: %v", c, name, err)
+			}
+		}
+		if got := mon.Peers(); got != peers {
+			t.Fatalf("cycle %d: monitor reports %d peers, want %d", c, got, peers)
+		}
+		for i := 0; i < peers; i++ {
+			if err := mon.RemovePeer(fmt.Sprintf("churn-%04d", i)); err != nil {
+				t.Fatalf("cycle %d remove %d: %v", c, i, err)
+			}
+		}
+		for si := range mon.shards {
+			s := &mon.shards[si]
+			s.mu.RLock()
+			tab, ents := s.tab.Stats(), s.ents.Stats()
+			s.mu.RUnlock()
+			if tab.Live != 0 || ents.Live != 0 {
+				t.Fatalf("cycle %d shard %d: %d table / %d arena entries live after drain", c, si, tab.Live, ents.Live)
+			}
+			if tab.Tombstones*4 > tab.Cap {
+				t.Fatalf("cycle %d shard %d: %d tombstones at cap %d, want compacted below cap/4",
+					c, si, tab.Tombstones, tab.Cap)
+			}
+			if tab.MaxProbe > 64 {
+				t.Fatalf("cycle %d shard %d: MaxProbe %d, want bounded", c, si, tab.MaxProbe)
+			}
+			if c == 0 {
+				caps[si] = tab.Cap
+			} else if tab.Cap > caps[si] {
+				t.Fatalf("cycle %d shard %d: table cap grew %d -> %d across identical cycles",
+					c, si, caps[si], tab.Cap)
+			}
+		}
+	}
+}

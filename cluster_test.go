@@ -186,8 +186,8 @@ func TestMultiMonitorChurnTimerLeak(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	if st := mon.SchedulerStats(); st.Wheels != peerShards || st.Timers != 0 {
-		t.Fatalf("fresh monitor scheduler stats %+v, want %d idle wheels", st, peerShards)
+	if st := mon.SchedulerStats(); st.Wheels != len(mon.shards) || st.Timers != 0 {
+		t.Fatalf("fresh monitor scheduler stats %+v, want %d idle wheels", st, len(mon.shards))
 	}
 	baseline := runtime.NumGoroutine()
 

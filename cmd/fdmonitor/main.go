@@ -15,7 +15,7 @@
 //
 // The HTTP endpoint exposes the live monitor:
 //
-//	GET    /cluster                       aggregate ClusterSnapshot (JSON, cluster mode)
+//	GET    /cluster[?detail=1]            aggregate ClusterSnapshot; detail=1 adds per-peer rows (JSON, cluster mode)
 //	POST   /cluster/peers?name=N&addr=A   start monitoring one more peer (cluster mode)
 //	DELETE /cluster/peers?name=N          stop monitoring a peer (cluster mode)
 //	GET    /status                        one-peer status (JSON, single-peer mode)
@@ -475,7 +475,7 @@ func runCluster(listen, peersSpec, httpAddr string, eta time.Duration, predictor
 			}
 			return nil
 		case <-tick:
-			snap := mon.Snapshot()
+			snap := mon.SnapshotDetail()
 			fmt.Printf("%s cluster: %d peers, %d trusted, %d suspected, %d heartbeats (%d stale)\n",
 				clk.WallTime().Format("15:04:05.000"), snap.Peers, snap.Trusted, snap.Suspected,
 				snap.Totals.Heartbeats, snap.Totals.Stale)
@@ -504,6 +504,12 @@ func clusterHandler(mon *wanfd.MultiMonitor, clk *sim.RealClock, reg *telemetry.
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		// The default body is the aggregate snapshot — constant-size however
+		// large the cluster. ?detail=1 opts into the per-peer breakdown.
+		if r.URL.Query().Get("detail") == "1" {
+			_ = enc.Encode(mon.SnapshotDetail())
+			return
+		}
 		_ = enc.Encode(mon.Snapshot())
 	})
 	mux.HandleFunc("/cluster/peers", func(w http.ResponseWriter, r *http.Request) {

@@ -166,6 +166,22 @@ func TestClusterHTTPSurface(t *testing.T) {
 	if snap.Peers != 1 {
 		t.Fatalf("snapshot peers = %d, want 1", snap.Peers)
 	}
+	if len(snap.PeerStatuses) != 0 {
+		t.Fatalf("default /cluster carries %d per-peer rows, want aggregate only", len(snap.PeerStatuses))
+	}
+
+	// detail=1 opts into the per-peer breakdown.
+	code, body = httpGet(t, srv.URL+"/cluster?detail=1")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster?detail=1 = %d: %s", code, body)
+	}
+	var detail wanfd.ClusterSnapshot
+	if err := json.Unmarshal([]byte(body), &detail); err != nil {
+		t.Fatalf("/cluster?detail=1 body: %v", err)
+	}
+	if len(detail.PeerStatuses) != 1 || detail.PeerStatuses[0].Peer != "alpha" {
+		t.Fatalf("/cluster?detail=1 peer rows = %+v, want [alpha]", detail.PeerStatuses)
+	}
 
 	post := func(query string) int {
 		t.Helper()

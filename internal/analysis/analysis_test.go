@@ -215,6 +215,35 @@ func TestClockUseCoversStore(t *testing.T) {
 	}
 }
 
+// TestClockUseCoversArena pins the newest non-exemption: the slab
+// allocator's import path (internal/arena) stays under clockuse even
+// though it is pure memory infrastructure — slot lifecycle is tracked by
+// generation stamps, never timestamps, so any wall-clock read inside the
+// arena is a bug. The seeded time.Now and time.Since reads in the fixture
+// must each produce a diagnostic.
+func TestClockUseCoversArena(t *testing.T) {
+	a := ByName("clockuse")
+	if a == nil {
+		t.Fatal("unknown analyzer clockuse")
+	}
+	dir := filepath.ToSlash(filepath.Join(
+		"internal", "analysis", "testdata", "src", "clockuse_arena", "internal", "arena"))
+	prog, err := Load(moduleRoot, []string{dir})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	diags := prog.Run([]*Analyzer{a})
+	if len(diags) != 2 {
+		t.Fatalf("unsanctioned internal/arena produced %d diagnostics, want 2 (time.Now and time.Since):\n%s",
+			len(diags), render(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "clockuse" {
+			t.Errorf("diagnostic from %q, want clockuse: %s", d.Analyzer, d)
+		}
+	}
+}
+
 // TestRepoIsClean runs the full suite over the repository itself — the
 // tree must stay free of findings so the lint gate in CI holds. Skipped in
 // -short mode: loading every package (and its stdlib imports, from source)

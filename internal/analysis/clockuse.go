@@ -34,6 +34,11 @@ var ClockUse = &Analyzer{
 // the on-disk record (and break replay fidelity). Its retention policy is
 // data-driven (age measured against the newest record) for exactly this
 // reason.
+//
+// internal/arena is likewise NOT exempt, even though it looks like pure
+// memory infrastructure: the arena holds peer records whose fields are
+// detector state, and its slot lifecycle is tracked by generation stamps,
+// never timestamps — a wall-clock read there has no legitimate purpose.
 var clockExemptSuffixes = []string{
 	"internal/sim",
 	"internal/clock",

@@ -1,0 +1,186 @@
+// Package arena provides the index-addressed memory layout the monitor's
+// per-peer hot structures live in at scale: a generation-stamped slab
+// allocator for fixed-size records (Arena) and open-addressed hash tables
+// mapping uint64 keys (Map64) or two-uint64 keys (Map128) to arena
+// indices. Together they replace the pointer-chased map[...]*state pattern
+// — one heap object and one map entry per peer — with dense slabs the
+// garbage collector scans per slab instead of per peer, and with probe
+// sequences that touch contiguous memory instead of hashing 32-byte
+// structural keys.
+//
+// Concurrency contract: neither the arena nor the tables synchronize
+// internally. Callers serialize mutations (Alloc/Free/Put/Delete) against
+// each other and against readers the way the rest of the repo does — a
+// shard RWMutex with mutations under the write lock and lookups under the
+// read lock. What the generation stamps add on top is *stale index*
+// safety: an Index captured in one lock epoch and dereferenced in a later
+// one (after the slot was freed, and possibly reused for a different peer)
+// resolves to nil instead of to the wrong record. Reuse of a freed slot
+// bumps the slot's generation, so every Index ever handed out names
+// exactly one allocation lifetime.
+//
+// The package stores opaque payloads and never reads any clock; unlike
+// internal/sched and internal/freelist it is deliberately NOT on the
+// clockuse exemption list (see internal/analysis.ClockUse) — nothing in a
+// memory allocator has any business near a timestamp.
+package arena
+
+// slabBits sizes one slab at 1024 records: large enough that slab count
+// (and GC scan roots) stays in the hundreds at a million records, small
+// enough that an idle arena wastes at most one slab.
+const (
+	slabBits = 10
+	slabSize = 1 << slabBits
+	slabMask = slabSize - 1
+)
+
+// Index names one allocation lifetime of one slot: the slot number in the
+// high 32 bits, the slot's generation at allocation time in the low 32.
+// The zero Index is Nil and never names a live record (live generations
+// are odd, and generation 0 is even).
+type Index uint64
+
+// Nil is the invalid Index; Get(Nil) is always nil.
+const Nil Index = 0
+
+// slot returns the packed slot number.
+func (i Index) slot() uint32 { return uint32(i >> 32) }
+
+// gen returns the packed generation.
+func (i Index) gen() uint32 { return uint32(i) }
+
+// makeIndex packs a slot number and generation.
+func makeIndex(slot, gen uint32) Index {
+	return Index(uint64(slot)<<32 | uint64(gen))
+}
+
+// slab is one fixed-size block of records. Generations live in a parallel
+// array (not interleaved with the records) so a Get validates against a
+// dense uint32 array and the record payloads stay contiguous.
+type slab[T any] struct {
+	gen [slabSize]uint32
+	val [slabSize]T
+}
+
+// Stats is a point-in-time snapshot of an arena's occupancy.
+type Stats struct {
+	// Live is the number of currently allocated records.
+	Live int
+	// Capacity is the number of slots backed by slabs (Live plus the free
+	// list).
+	Capacity int
+	// Slabs is the number of allocated slabs.
+	Slabs int
+	// Reused counts allocations served from the free list rather than by
+	// slab growth — the churn the generation stamps make safe.
+	Reused uint64
+}
+
+// Arena is a slab allocator for fixed-size records of type T. Records are
+// addressed by Index; the pointer returned by Alloc/Get stays valid (slots
+// never move) until the record is freed.
+type Arena[T any] struct {
+	slabs []*slab[T]
+	// free is the LIFO stack of freed slot numbers; reusing the most
+	// recently freed slot keeps churny workloads in warm cache lines.
+	free   []uint32
+	next   uint32 // first never-allocated slot
+	live   int
+	reused uint64
+}
+
+// New builds an empty arena. No slab is allocated until the first Alloc.
+func New[T any]() *Arena[T] {
+	return &Arena[T]{}
+}
+
+// Alloc claims a slot and returns its Index and record pointer. The record
+// is zero-valued (Free zeroes on release, and fresh slabs start zeroed).
+func (a *Arena[T]) Alloc() (Index, *T) {
+	var s uint32
+	if n := len(a.free); n > 0 {
+		s = a.free[n-1]
+		a.free = a.free[:n-1]
+		a.reused++
+	} else {
+		s = a.next
+		a.next++
+		if int(s)>>slabBits == len(a.slabs) {
+			a.slabs = append(a.slabs, &slab[T]{})
+		}
+	}
+	sl := a.slabs[s>>slabBits]
+	g := sl.gen[s&slabMask] + 1 // even (free) -> odd (live)
+	sl.gen[s&slabMask] = g
+	a.live++
+	return makeIndex(s, g), &sl.val[s&slabMask]
+}
+
+// Get resolves an Index to its record, or nil when the index is Nil, out
+// of range, or stale (its allocation lifetime has ended).
+func (a *Arena[T]) Get(i Index) *T {
+	s, g := i.slot(), i.gen()
+	if g&1 == 0 || s >= a.next {
+		return nil
+	}
+	sl := a.slabs[s>>slabBits]
+	if sl.gen[s&slabMask] != g {
+		return nil
+	}
+	return &sl.val[s&slabMask]
+}
+
+// Free releases a record, zeroing it (dropping any pointers it held for
+// the garbage collector) and bumping the slot generation so stale indices
+// no longer resolve. Freeing a stale or Nil index is a no-op reporting
+// false.
+func (a *Arena[T]) Free(i Index) bool {
+	s, g := i.slot(), i.gen()
+	if g&1 == 0 || s >= a.next {
+		return false
+	}
+	sl := a.slabs[s>>slabBits]
+	if sl.gen[s&slabMask] != g {
+		return false
+	}
+	var zero T
+	sl.val[s&slabMask] = zero
+	sl.gen[s&slabMask] = g + 1 // odd (live) -> even (free)
+	a.free = append(a.free, s)
+	a.live--
+	return true
+}
+
+// Len is the number of live records.
+func (a *Arena[T]) Len() int { return a.live }
+
+// Cap is the number of slots currently backed by slabs.
+func (a *Arena[T]) Cap() int { return len(a.slabs) * slabSize }
+
+// Stats snapshots the arena's occupancy counters.
+func (a *Arena[T]) Stats() Stats {
+	return Stats{
+		Live:     a.live,
+		Capacity: a.Cap(),
+		Slabs:    len(a.slabs),
+		Reused:   a.reused,
+	}
+}
+
+// Range calls f for every live record until f returns false. The iteration
+// order is slot order, not insertion order. f must not Alloc or Free.
+func (a *Arena[T]) Range(f func(Index, *T) bool) {
+	for si, sl := range a.slabs {
+		base := uint32(si) << slabBits
+		for j := 0; j < slabSize; j++ {
+			if base+uint32(j) >= a.next {
+				return
+			}
+			if g := sl.gen[j]; g&1 == 1 {
+				if !f(makeIndex(base+uint32(j), g), &sl.val[j]) {
+					return
+				}
+			}
+		}
+	}
+}

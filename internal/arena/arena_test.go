@@ -1,0 +1,359 @@
+package arena
+
+import (
+	"fmt"
+	"testing"
+)
+
+type rec struct {
+	id   int
+	name string
+}
+
+func TestAllocGetFree(t *testing.T) {
+	a := New[rec]()
+	idx, r := a.Alloc()
+	if idx == Nil {
+		t.Fatal("Alloc returned Nil index")
+	}
+	r.id, r.name = 7, "seven"
+	got := a.Get(idx)
+	if got == nil || got.id != 7 || got.name != "seven" {
+		t.Fatalf("Get = %+v, want the allocated record", got)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", a.Len())
+	}
+	if !a.Free(idx) {
+		t.Fatal("Free reported false for a live index")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("Len after Free = %d, want 0", a.Len())
+	}
+	if a.Get(idx) != nil {
+		t.Fatal("Get resolved a freed index")
+	}
+	if a.Free(idx) {
+		t.Fatal("double Free reported true")
+	}
+}
+
+func TestNilIndex(t *testing.T) {
+	a := New[rec]()
+	if a.Get(Nil) != nil {
+		t.Fatal("Get(Nil) resolved")
+	}
+	if a.Free(Nil) {
+		t.Fatal("Free(Nil) reported true")
+	}
+}
+
+// TestGenerationStampsStaleReuse is the safety property DESIGN.md §13
+// leans on: an index captured before a Free must not resolve to the slot's
+// next tenant.
+func TestGenerationStampsStaleReuse(t *testing.T) {
+	a := New[rec]()
+	idx1, r1 := a.Alloc()
+	r1.id = 1
+	a.Free(idx1)
+	idx2, r2 := a.Alloc()
+	r2.id = 2
+	if idx2.slot() != idx1.slot() {
+		t.Fatalf("LIFO free list should reuse slot %d, got %d", idx1.slot(), idx2.slot())
+	}
+	if idx1 == idx2 {
+		t.Fatal("reused slot produced an identical index")
+	}
+	if a.Get(idx1) != nil {
+		t.Fatal("stale index resolved to the slot's new tenant")
+	}
+	if got := a.Get(idx2); got == nil || got.id != 2 {
+		t.Fatalf("fresh index Get = %+v, want id 2", got)
+	}
+}
+
+// TestFreeZeroes pins that Free drops the record's pointers: a freed slot
+// must not pin the old payload for the garbage collector.
+func TestFreeZeroes(t *testing.T) {
+	a := New[rec]()
+	idx, r := a.Alloc()
+	r.name = "payload"
+	a.Free(idx)
+	idx2, r2 := a.Alloc()
+	if idx2.slot() != idx.slot() {
+		t.Fatalf("expected slot reuse, got slot %d", idx2.slot())
+	}
+	if r2.name != "" || r2.id != 0 {
+		t.Fatalf("reused record not zeroed: %+v", r2)
+	}
+}
+
+func TestSlabGrowth(t *testing.T) {
+	a := New[int]()
+	n := slabSize*2 + 3
+	idxs := make([]Index, n)
+	for i := 0; i < n; i++ {
+		idx, p := a.Alloc()
+		*p = i
+		idxs[i] = idx
+	}
+	st := a.Stats()
+	if st.Live != n || st.Slabs != 3 {
+		t.Fatalf("Stats = %+v, want Live %d across 3 slabs", st, n)
+	}
+	for i, idx := range idxs {
+		if p := a.Get(idx); p == nil || *p != i {
+			t.Fatalf("record %d = %v, want %d", i, p, i)
+		}
+	}
+}
+
+// TestChurnOccupancy pins the arena half of the churn invariant: a full
+// add/remove cycle returns occupancy to baseline without growing capacity.
+func TestChurnOccupancy(t *testing.T) {
+	a := New[rec]()
+	const n = slabSize + 100
+	for cycle := 0; cycle < 5; cycle++ {
+		idxs := make([]Index, n)
+		for i := range idxs {
+			idxs[i], _ = a.Alloc()
+		}
+		for _, idx := range idxs {
+			a.Free(idx)
+		}
+		if a.Len() != 0 {
+			t.Fatalf("cycle %d: Len = %d, want 0", cycle, a.Len())
+		}
+		if got, want := a.Stats().Slabs, 2; got != want {
+			t.Fatalf("cycle %d: %d slabs, want %d (churn must not grow the arena)", cycle, got, want)
+		}
+	}
+	if st := a.Stats(); st.Reused < uint64(4*n) {
+		t.Fatalf("Reused = %d, want >= %d (free-list reuse)", st.Reused, 4*n)
+	}
+}
+
+func TestRange(t *testing.T) {
+	a := New[int]()
+	var idxs []Index
+	for i := 0; i < 10; i++ {
+		idx, p := a.Alloc()
+		*p = i
+		idxs = append(idxs, idx)
+	}
+	a.Free(idxs[3])
+	a.Free(idxs[7])
+	seen := map[int]bool{}
+	a.Range(func(i Index, p *int) bool {
+		seen[*p] = true
+		return true
+	})
+	if len(seen) != 8 || seen[3] || seen[7] {
+		t.Fatalf("Range visited %v, want all but 3 and 7", seen)
+	}
+	// Early termination.
+	count := 0
+	a.Range(func(Index, *int) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Range after false continued: %d visits", count)
+	}
+}
+
+func TestMap64Basics(t *testing.T) {
+	m := NewMap64(0)
+	if _, ok := m.Get(42); ok {
+		t.Fatal("Get on empty table reported ok")
+	}
+	m.Put(42, makeIndex(0, 1))
+	m.Put(43, makeIndex(1, 1))
+	if v, ok := m.Get(42); !ok || v != makeIndex(0, 1) {
+		t.Fatalf("Get(42) = %v %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Delete(42); !ok || v != makeIndex(0, 1) {
+		t.Fatalf("Delete(42) = %v %v", v, ok)
+	}
+	if _, ok := m.Get(42); ok {
+		t.Fatal("Get found a deleted key")
+	}
+	if _, ok := m.Delete(42); ok {
+		t.Fatal("double Delete reported ok")
+	}
+}
+
+func TestMap64GrowthKeepsEntries(t *testing.T) {
+	m := NewMap64(0)
+	const n = 10_000
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, makeIndex(uint32(i), 1))
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := m.Get(i); !ok || v != makeIndex(uint32(i), 1) {
+			t.Fatalf("Get(%d) = %v %v after growth", i, v, ok)
+		}
+	}
+	st := m.Stats()
+	if st.Live != n {
+		t.Fatalf("Live = %d, want %d", st.Live, n)
+	}
+	if st.Live*4 > st.Cap*3 {
+		t.Fatalf("load factor %d/%d exceeds the 3/4 bound", st.Live, st.Cap)
+	}
+}
+
+// TestMap64TombstoneCompaction is the table half of the churn invariant:
+// repeated fill/drain cycles must return tombstones and load factor to
+// baseline and keep probe lengths bounded.
+func TestMap64TombstoneCompaction(t *testing.T) {
+	m := NewMap64(0)
+	const n = 4096
+	for cycle := 0; cycle < 8; cycle++ {
+		for i := uint64(0); i < n; i++ {
+			m.Put(i, makeIndex(uint32(i), 1))
+		}
+		for i := uint64(0); i < n; i++ {
+			if _, ok := m.Delete(i); !ok {
+				t.Fatalf("cycle %d: Delete(%d) missed", cycle, i)
+			}
+		}
+		st := m.Stats()
+		if st.Live != 0 {
+			t.Fatalf("cycle %d: Live = %d, want 0", cycle, st.Live)
+		}
+		if st.Tombstones*4 > st.Cap {
+			t.Fatalf("cycle %d: %d tombstones on cap %d — compaction did not run", cycle, st.Tombstones, st.Cap)
+		}
+	}
+	if st := m.Stats(); st.Rehashes == 0 {
+		t.Fatal("churn produced no rehashes — the compaction path never ran")
+	}
+	// A fresh fill after heavy churn must still probe like a fresh table.
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, makeIndex(uint32(i), 1))
+	}
+	if st := m.Stats(); st.MaxProbe > 64 {
+		t.Fatalf("MaxProbe = %d after churn, want bounded (<=64)", st.MaxProbe)
+	}
+}
+
+// TestMap64DuplicateKeys exercises the lossy-key mode: entries sharing a
+// key coexist and Find/Remove disambiguate through eq.
+func TestMap64DuplicateKeys(t *testing.T) {
+	a := New[rec]()
+	m := NewMap64(0)
+	const h = uint64(0xdeadbeef) // one shared (collided) hash for all entries
+	var idxs []Index
+	for i := 0; i < 4; i++ {
+		idx, r := a.Alloc()
+		r.id = i
+		r.name = fmt.Sprintf("peer-%d", i)
+		m.Put(h, idx)
+		idxs = append(idxs, idx)
+	}
+	for i := 0; i < 4; i++ {
+		want := fmt.Sprintf("peer-%d", i)
+		v, ok := m.Find(h, func(ix Index) bool { return a.Get(ix).name == want })
+		if !ok || a.Get(v).id != i {
+			t.Fatalf("Find(%q) = %v %v", want, v, ok)
+		}
+	}
+	if _, ok := m.Find(h, func(ix Index) bool { return a.Get(ix).name == "peer-9" }); ok {
+		t.Fatal("Find matched a non-existent name on a collided chain")
+	}
+	// Remove the middle entries; the chain must stay walkable.
+	for _, i := range []int{1, 2} {
+		want := fmt.Sprintf("peer-%d", i)
+		if _, ok := m.Remove(h, func(ix Index) bool { return a.Get(ix).name == want }); !ok {
+			t.Fatalf("Remove(%q) missed", want)
+		}
+	}
+	for _, i := range []int{0, 3} {
+		want := fmt.Sprintf("peer-%d", i)
+		if _, ok := m.Find(h, func(ix Index) bool { return a.Get(ix).name == want }); !ok {
+			t.Fatalf("entry %q lost after sibling removal", want)
+		}
+	}
+	_ = idxs
+}
+
+func TestMap128Basics(t *testing.T) {
+	a := New[rec]()
+	m := NewMap128(0)
+	any := func(Index) bool { return true }
+	idx1, r1 := a.Alloc()
+	r1.id = 1
+	m.Put(1, 2, idx1)
+	if v, ok := m.Find(1, 2, any); !ok || v != idx1 {
+		t.Fatalf("Find = %v %v", v, ok)
+	}
+	if _, ok := m.Find(2, 1, any); ok {
+		t.Fatal("Find matched swapped key words")
+	}
+	// Same 128-bit key, different identity (the IPv6 same-address,
+	// different-port case): disambiguated by eq.
+	idx2, r2 := a.Alloc()
+	r2.id = 2
+	m.Put(1, 2, idx2)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	v, ok := m.Find(1, 2, func(ix Index) bool { return a.Get(ix).id == 2 })
+	if !ok || v != idx2 {
+		t.Fatalf("eq-Find = %v %v, want the second entry", v, ok)
+	}
+	if _, ok := m.Remove(1, 2, func(ix Index) bool { return a.Get(ix).id == 1 }); !ok {
+		t.Fatal("Remove of first entry missed")
+	}
+	if v, ok := m.Find(1, 2, any); !ok || v != idx2 {
+		t.Fatalf("survivor Find = %v %v, want %v", v, ok, idx2)
+	}
+}
+
+func TestMap128ChurnCompaction(t *testing.T) {
+	m := NewMap128(0)
+	any := func(Index) bool { return true }
+	const n = 2048
+	for cycle := 0; cycle < 6; cycle++ {
+		for i := uint64(0); i < n; i++ {
+			m.Put(i, i^0xabcdef, makeIndex(uint32(i), 1))
+		}
+		for i := uint64(0); i < n; i++ {
+			if _, ok := m.Remove(i, i^0xabcdef, any); !ok {
+				t.Fatalf("cycle %d: Remove(%d) missed", cycle, i)
+			}
+		}
+		st := m.Stats()
+		if st.Live != 0 || st.Tombstones*4 > st.Cap {
+			t.Fatalf("cycle %d: stats %+v — compaction did not hold", cycle, st)
+		}
+	}
+}
+
+// TestTableZeroAllocLookups pins the hot-path property the receive path
+// depends on: Get and Find allocate nothing.
+func TestTableZeroAllocLookups(t *testing.T) {
+	m := NewMap64(0)
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i, makeIndex(uint32(i), 1))
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := m.Get(500); !ok {
+			t.Fatal("lost key")
+		}
+	}); n != 0 {
+		t.Fatalf("Map64.Get allocates %v per op", n)
+	}
+	m2 := NewMap128(0)
+	for i := uint64(0); i < 1000; i++ {
+		m2.Put(i, i, makeIndex(uint32(i), 1))
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := m2.Find(500, 500, func(Index) bool { return true }); !ok {
+			t.Fatal("lost key")
+		}
+	}); n != 0 {
+		t.Fatalf("Map128.Find allocates %v per op", n)
+	}
+}

@@ -10,15 +10,16 @@ import (
 	"wanfd/internal/telemetry"
 )
 
-// routerShards is the number of independent route-table shards. Sixteen
-// keeps the per-shard maps small at cluster scale while bounding the
-// memory of an idle router.
+// routerShards is the default number of independent route-table shards.
+// Sixteen keeps the per-shard maps small at cluster scale while bounding
+// the memory of an idle router; NewRouterSharded widens it for the 1M
+// scale profile.
 const routerShards = 16
 
-// shardIndex hashes a process id onto a shard with 64-bit FNV-1a, so
-// consecutive ids (the common allocation pattern) spread instead of
+// shardHash hashes a process id with 64-bit FNV-1a, so consecutive ids
+// (the common allocation pattern) spread across shards instead of
 // clustering.
-func shardIndex(id neko.ProcessID) uint64 {
+func shardHash(id neko.ProcessID) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -30,7 +31,12 @@ func shardIndex(id neko.ProcessID) uint64 {
 		h *= prime64
 		v >>= 8
 	}
-	return h % routerShards
+	return h
+}
+
+// shardIndex maps a process id onto a default-geometry shard.
+func shardIndex(id neko.ProcessID) uint64 {
+	return shardHash(id) % routerShards
 }
 
 type routerShard struct {
@@ -54,18 +60,34 @@ type routerShard struct {
 // not contend on a single lock.
 type Router struct {
 	neko.Base
-	shards    [routerShards]routerShard
+	shards    []routerShard
+	mask      uint64
 	unrouted  *telemetry.Counter
 	telemetry bool
 }
 
-// NewRouter builds an empty router.
+// NewRouter builds an empty router with the default shard count.
 func NewRouter() *Router {
-	r := &Router{}
+	return NewRouterSharded(routerShards)
+}
+
+// NewRouterSharded builds an empty router with n route-table shards; n
+// must be a power of two. Scale profiles widen the shard count so
+// membership churn contends on a smaller fraction of dispatches.
+func NewRouterSharded(n int) *Router {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("layers: router shard count must be a power of two")
+	}
+	r := &Router{shards: make([]routerShard, n), mask: uint64(n - 1)}
 	for i := range r.shards {
 		r.shards[i].routes = make(map[neko.ProcessID]neko.Receiver)
 	}
 	return r
+}
+
+// shard returns the shard owning one source id.
+func (r *Router) shard(id neko.ProcessID) *routerShard {
+	return &r.shards[shardHash(id)&r.mask]
 }
 
 // Instrument attaches live telemetry to the router: per-shard dispatch and
@@ -94,7 +116,7 @@ func (r *Router) Route(from neko.ProcessID, rcv neko.Receiver) error {
 	if rcv == nil {
 		return fmt.Errorf("layers: nil receiver for source %d", from)
 	}
-	s := &r.shards[shardIndex(from)]
+	s := r.shard(from)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.routes[from]; dup {
@@ -107,7 +129,7 @@ func (r *Router) Route(from neko.ProcessID, rcv neko.Receiver) error {
 // Unroute removes the receiver for one source process; messages from it
 // pass up the stack afterwards. Unrouting an unknown source is an error.
 func (r *Router) Unroute(from neko.ProcessID) error {
-	s := &r.shards[shardIndex(from)]
+	s := r.shard(from)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.routes[from]; !ok {
@@ -131,7 +153,7 @@ func (r *Router) Routed() int {
 
 // Receive dispatches by the message's source.
 func (r *Router) Receive(m *neko.Message) {
-	s := &r.shards[shardIndex(m.From)]
+	s := r.shard(m.From)
 	if r.telemetry {
 		// TryRLock failure means a writer (membership churn) holds this
 		// shard — the contention the sharded design bounds to 1/16 of
@@ -158,7 +180,7 @@ func (r *Router) Receive(m *neko.Message) {
 // ReceiveAt dispatches one timestamped message, forwarding the stamp when
 // the route target accepts it.
 func (r *Router) ReceiveAt(m *neko.Message, at time.Duration) {
-	s := &r.shards[shardIndex(m.From)]
+	s := r.shard(m.From)
 	if r.telemetry {
 		if !s.mu.TryRLock() {
 			s.contended.Inc()
@@ -197,7 +219,7 @@ func (r *Router) ReceiveBatch(ms []*neko.Message, at time.Duration) {
 	)
 	for _, m := range ms {
 		if !valid || m.From != from {
-			s := &r.shards[shardIndex(m.From)]
+			s := r.shard(m.From)
 			if r.telemetry {
 				if !s.mu.TryRLock() {
 					s.contended.Inc()

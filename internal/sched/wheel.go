@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,21 +10,21 @@ import (
 	"wanfd/internal/sim"
 )
 
-// Wheel geometry. The fine level resolves one tick per slot across a
-// 256-tick window; the coarse level holds one 256-tick span per slot
-// across a further 64 spans. With the default 1 ms tick that is 256 ms of
-// exact resolution and ~16.4 s of coarse horizon — comfortably past the
-// paper's WAN timeouts (η = 1 s, δ up to ~10 s). Deadlines beyond the
-// horizon wait on the overflow list and are re-examined at each fine-wheel
-// wrap.
+// Default wheel geometry. The fine level resolves one tick per slot
+// across a 256-tick window; the coarse level holds one 256-tick span per
+// slot across a further 64 spans. With the default 1 ms tick that is
+// 256 ms of exact resolution and ~16.4 s of coarse horizon — comfortably
+// past the paper's WAN timeouts (η = 1 s, δ up to ~10 s). Deadlines
+// beyond the horizon wait on the overflow list and are re-examined at
+// each fine-wheel wrap. Config.FineSlots/CoarseSlots override both levels
+// (the 1M scale profile widens them so per-slot occupancy stays bounded);
+// these constants are the zero-config values.
 const (
 	fineBits    = 8
 	fineSlots   = 1 << fineBits
-	fineMask    = fineSlots - 1
 	coarseBits  = 6
 	coarseSlots = 1 << coarseBits
-	coarseMask  = coarseSlots - 1
-	// wheelSpan is the total in-wheel horizon in ticks.
+	// wheelSpan is the default total in-wheel horizon in ticks.
 	wheelSpan = fineSlots << coarseBits
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	// of timers fired together and the lag between the earliest deadline
 	// in the batch and the moment the batch was collected.
 	OnBatch func(fired int, lag time.Duration)
+	// FineSlots and CoarseSlots size the two wheel levels. Both must be
+	// powers of two; zero means the defaults (256 fine, 64 coarse). Wider
+	// wheels trade memory (one timerList per slot) for lower per-slot
+	// occupancy and shorter next-wake scans when millions of deadlines are
+	// armed.
+	FineSlots   int
+	CoarseSlots int
 }
 
 // Stats is a point-in-time snapshot of a wheel's counters.
@@ -81,10 +89,18 @@ type Wheel struct {
 	onBatch func(int, time.Duration)
 	real    bool
 
+	// Geometry, fixed at construction: slot counts and derived masks for
+	// both levels, the fine level's shift, and the total in-wheel span in
+	// ticks.
+	fslots, fmask int64
+	fbits         uint
+	cmask         int64
+	span          int64
+
 	mu        sync.Mutex
 	cur       int64 // last processed tick
-	fine      [fineSlots]timerList
-	coarse    [coarseSlots]timerList
+	fine      []timerList
+	coarse    []timerList
 	overflow  timerList
 	due       timerList // non-positive delays: fire at next wakeup
 	scheduled int
@@ -117,10 +133,28 @@ func NewWheel(cfg Config) *Wheel {
 	if tick <= 0 {
 		tick = DefaultTick
 	}
+	fs := cfg.FineSlots
+	if fs <= 0 {
+		fs = fineSlots
+	}
+	cs := cfg.CoarseSlots
+	if cs <= 0 {
+		cs = coarseSlots
+	}
+	if fs&(fs-1) != 0 || cs&(cs-1) != 0 {
+		panic("sched: wheel slot counts must be powers of two")
+	}
 	w := &Wheel{
 		clk:     cfg.Clock,
 		tick:    tick,
 		onBatch: cfg.OnBatch,
+		fslots:  int64(fs),
+		fmask:   int64(fs - 1),
+		fbits:   uint(bits.TrailingZeros(uint(fs))),
+		cmask:   int64(cs - 1),
+		span:    int64(fs) * int64(cs),
+		fine:    make([]timerList, fs),
+		coarse:  make([]timerList, cs),
 		notify:  make(chan struct{}, 1),
 	}
 	_, w.real = cfg.Clock.(*sim.RealClock)
@@ -234,10 +268,10 @@ func (w *Wheel) placeLocked(t *Timer) {
 	switch delta := t.tk - w.cur; {
 	case delta <= 0:
 		l = &w.due
-	case delta <= fineSlots:
-		l = &w.fine[t.tk&fineMask]
-	case delta <= wheelSpan:
-		l = &w.coarse[(t.tk>>fineBits)&coarseMask]
+	case delta <= w.fslots:
+		l = &w.fine[t.tk&w.fmask]
+	case delta <= w.span:
+		l = &w.coarse[(t.tk>>w.fbits)&w.cmask]
 	default:
 		l = &w.overflow
 	}
@@ -251,7 +285,7 @@ func (w *Wheel) placeLocked(t *Timer) {
 // just entered the fine window is flushed down, and overflow timers now
 // within the wheel span are admitted.
 func (w *Wheel) cascadeLocked() {
-	slot := &w.coarse[(w.cur>>fineBits)&coarseMask]
+	slot := &w.coarse[(w.cur>>w.fbits)&w.cmask]
 	for slot.head != nil {
 		t := slot.head
 		slot.remove(t)
@@ -260,7 +294,7 @@ func (w *Wheel) cascadeLocked() {
 	}
 	for t := w.overflow.head; t != nil; {
 		next := t.next
-		if t.tk-w.cur <= wheelSpan {
+		if t.tk-w.cur <= w.span {
 			w.overflow.remove(t)
 			w.placeLocked(t)
 			w.cascades++
@@ -290,11 +324,11 @@ func (w *Wheel) advanceLocked(target int64, batch []firing) []firing {
 	batch = w.drainLocked(&w.due, batch)
 	for w.cur < target {
 		w.cur++
-		if w.cur&fineMask == 0 {
+		if w.cur&w.fmask == 0 {
 			w.cascadeLocked()
 			batch = w.drainLocked(&w.due, batch)
 		}
-		batch = w.drainLocked(&w.fine[w.cur&fineMask], batch)
+		batch = w.drainLocked(&w.fine[w.cur&w.fmask], batch)
 	}
 	return batch
 }
@@ -311,8 +345,8 @@ func (w *Wheel) nextWakeLocked() (int64, bool) {
 		return w.cur, true
 	}
 	best := int64(-1)
-	for k := int64(1); k <= fineSlots; k++ {
-		if w.fine[(w.cur+k)&fineMask].n > 0 {
+	for k := int64(1); k <= w.fslots; k++ {
+		if w.fine[(w.cur+k)&w.fmask].n > 0 {
 			best = w.cur + k
 			break
 		}
@@ -342,7 +376,7 @@ func (w *Wheel) nextWakeLocked() (int64, bool) {
 // wrapBoundaryLocked is the next tick at which the fine wheel wraps and
 // cascading runs.
 func (w *Wheel) wrapBoundaryLocked() int64 {
-	return (w.cur &^ int64(fineMask)) + fineSlots
+	return (w.cur &^ w.fmask) + w.fslots
 }
 
 // fireBatch invokes the collected callbacks with no locks held. A timer

@@ -19,6 +19,8 @@ import (
 // Shards are keyed by destination id, so one peer's packets always ride
 // one FIFO ring and stay in send order across flushes.
 const (
+	// egressShards is the default shard count; UDPConfig.EgressShards
+	// widens it at scale.
 	egressShards = 8
 	// egressRingCap bounds how many encoded packets can wait for the
 	// flusher per shard; overflow is counted and dropped (UDP semantics —
@@ -53,8 +55,9 @@ type egressShard struct {
 // encode-buffer pool (owned by UDPNetwork.bufs), and the flusher's wake
 // latch.
 type egressState struct {
-	shards [egressShards]egressShard
-	wake   chan struct{}
+	shards    []egressShard
+	shardMask uint64
+	wake      chan struct{}
 
 	batch         int
 	flushInterval time.Duration
@@ -124,7 +127,10 @@ func (n *UDPNetwork) startEgress() {
 	if batch > maxEgressBatch {
 		batch = maxEgressBatch
 	}
+	shards := shardCount(n.cfg.EgressShards, egressShards)
 	eg := &egressState{
+		shards:        make([]egressShard, shards),
+		shardMask:     uint64(shards - 1),
 		wake:          make(chan struct{}, 1),
 		batch:         batch,
 		flushInterval: n.cfg.EgressFlushInterval,
@@ -177,7 +183,7 @@ func (n *UDPNetwork) enqueue(m *neko.Message) {
 		n.bufs.Put(buf[:0])
 		return
 	}
-	shard := uint64(uint32(m.To)) % egressShards
+	shard := uint64(uint32(m.To)) & eg.shardMask
 	if !eg.shards[shard].ring.TryPush(egressItem{buf: out, to: m.To}) {
 		eg.ringDrops.Add(1)
 		n.mDropped.Inc()
@@ -256,7 +262,7 @@ func (n *UDPNetwork) flushLoop() {
 func (n *UDPNetwork) sweep(items []egressItem) int {
 	eg := n.egress
 	total := 0
-	for s := 0; s < egressShards && total < len(items); s++ {
+	for s := 0; s < len(eg.shards) && total < len(items); s++ {
 		total += eg.shards[s].ring.TryPopN(items[total:])
 	}
 	return total
@@ -269,9 +275,9 @@ func (n *UDPNetwork) sweep(items []egressItem) int {
 func (n *UDPNetwork) resolveBatch(items []egressItem, dst []netip.AddrPort, ok []bool) {
 	n.peerMu.RLock()
 	for i := range items {
-		ps, found := n.peers[items[i].to]
+		idx, found := n.byID.Get(uint64(items[i].to))
 		if found {
-			dst[i] = ps.ap
+			dst[i] = n.peerArena.Get(idx).ap
 		}
 		ok[i] = found
 	}

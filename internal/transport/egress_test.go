@@ -134,7 +134,12 @@ func TestEgressOverflowCountedNeverBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { n.Close() })
-	eg := &egressState{wake: make(chan struct{}, 1), batch: defaultEgressBatch}
+	eg := &egressState{
+		shards:    make([]egressShard, egressShards),
+		shardMask: egressShards - 1,
+		wake:      make(chan struct{}, 1),
+		batch:     defaultEgressBatch,
+	}
 	for i := range eg.shards {
 		eg.shards[i].ring = freelist.NewRing[egressItem](egressRingCap)
 	}

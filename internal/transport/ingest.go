@@ -12,19 +12,16 @@ import (
 	"wanfd/internal/telemetry"
 )
 
-// Batched ingest pipeline tuning. The shard count matches the router's so
-// one consumer goroutine feeds one router shard's worth of peers; the ring
-// capacity bounds how far a burst can run ahead of the detectors before
-// packets are dropped (counted, never blocking the socket); the drain batch
-// is how many datagrams one readiness wakeup pulls before stamping them.
+// Batched ingest pipeline tuning. The default shard count matches the
+// router's so one consumer goroutine feeds one router shard's worth of
+// peers (UDPConfig.IngestShards widens it at scale); the ring capacity
+// bounds how far a burst can run ahead of the detectors before packets
+// are dropped (counted, never blocking the socket); the drain batch is
+// how many datagrams one readiness wakeup pulls before stamping them.
 const (
 	ingestShards  = 16
 	ingestRingCap = 512
 	maxDrainBatch = 64
-	// msgPoolCap covers every message the pipeline can have in flight:
-	// all shard rings full plus a drain batch per reader being decoded
-	// and a batch per consumer being delivered.
-	msgPoolCap = ingestShards*ingestRingCap + 4*maxDrainBatch
 	// sendBufPoolCap bounds recycled egress packet buffers; sends are
 	// serialized per caller so a handful covers concurrent senders.
 	sendBufPoolCap = 64
@@ -64,10 +61,13 @@ type ingestShard struct {
 }
 
 // ingestState is the batched pipeline: the message freelist shared by all
-// drain loops and the per-shard hand-off rings.
+// drain loops and the per-shard hand-off rings. The shard count is fixed
+// at construction (a power of two, at most 64 so one uint64 can mask the
+// shards a batch touched).
 type ingestState struct {
-	shards [ingestShards]ingestShard
-	msgs   *freelist.Pool[*neko.Message]
+	shards    []ingestShard
+	shardMask uint64
+	msgs      *freelist.Pool[*neko.Message]
 
 	drains    atomic.Uint64 // completed drain cycles
 	ringDrops atomic.Uint64 // messages dropped because a shard ring was full
@@ -105,8 +105,15 @@ func (n *UDPNetwork) IngestStats() IngestStats {
 // the drain loop(s). Extra SO_REUSEPORT readers degrade gracefully: if an
 // additional socket cannot be opened the endpoint runs with fewer readers.
 func (n *UDPNetwork) startIngest() {
+	shards := shardCount(n.cfg.IngestShards, ingestShards)
+	// The pool covers every message the pipeline can have in flight: all
+	// shard rings full plus a drain batch per reader being decoded and a
+	// batch per consumer being delivered.
+	poolCap := shards*ingestRingCap + 4*maxDrainBatch
 	ig := &ingestState{
-		msgs: freelist.NewPool(msgPoolCap, func() *neko.Message { return &neko.Message{} }),
+		shards:    make([]ingestShard, shards),
+		shardMask: uint64(shards - 1),
+		msgs:      freelist.NewPool(poolCap, func() *neko.Message { return &neko.Message{} }),
 	}
 	for i := range ig.shards {
 		ig.shards[i].ring = freelist.NewRing[ingestItem](ingestRingCap)
@@ -176,11 +183,11 @@ func (n *UDPNetwork) releaseBatch(batch []pending) {
 // cursor reservation per batch instead of one per message. Not safe for
 // concurrent use — every producer (drain loop, injector) owns its own.
 type shardBuckets struct {
-	b [ingestShards][]ingestItem
+	b [][]ingestItem
 }
 
-func newShardBuckets() *shardBuckets {
-	s := &shardBuckets{}
+func newShardBuckets(shards int) *shardBuckets {
+	s := &shardBuckets{b: make([][]ingestItem, shards)}
 	for i := range s.b {
 		s.b[i] = make([]ingestItem, 0, maxDrainBatch)
 	}
@@ -211,14 +218,14 @@ func (n *UDPNetwork) processBatch(batch []pending, bk *shardBuckets) {
 
 	n.peerMu.RLock()
 	for i := range batch {
-		if ps, ok := n.lookupAddrLocked(batch[i].src); ok {
+		if ps := n.lookupAddrLocked(batch[i].src); ps != nil {
 			batch[i].m.From = ps.id
 			batch[i].off = ps.offset.Load()
 		}
 	}
 	n.peerMu.RUnlock()
 
-	var touched uint32
+	var touched uint64
 	for i := range batch {
 		p := &batch[i]
 		switch p.m.Type {
@@ -234,7 +241,7 @@ func (n *UDPNetwork) processBatch(batch []pending, bk *shardBuckets) {
 		// Map the sender's wall-clock timestamp onto the local run
 		// clock, correcting the estimated peer clock offset.
 		p.m.SentAt = time.Duration(p.sentUnix - n.epochNano - p.off)
-		shard := uint64(uint32(p.m.From)) % ingestShards
+		shard := uint64(uint32(p.m.From)) & ig.shardMask
 		bk.b[shard] = append(bk.b[shard], ingestItem{m: p.m, recvAt: stamp})
 		touched |= 1 << shard
 	}
@@ -370,11 +377,15 @@ type Injector struct {
 
 // NewInjector returns a packet injector for this endpoint.
 func (n *UDPNetwork) NewInjector() *Injector {
+	shards := 1
+	if n.ingest != nil {
+		shards = len(n.ingest.shards)
+	}
 	return &Injector{
 		n:     n,
 		batch: make([]pending, 0, maxDrainBatch),
 		msgs:  make([]*neko.Message, maxDrainBatch),
-		bk:    newShardBuckets(),
+		bk:    newShardBuckets(shards),
 	}
 }
 
@@ -394,9 +405,9 @@ func (in *Injector) InjectBatch(pkts [][]byte, srcs []netip.AddrPort) {
 				continue
 			}
 			var off int64
-			if ps, ok := n.peerByAddr(unmapAP(srcs[i])); ok {
-				m.From = ps.id
-				off = ps.offset.Load()
+			if id, o, ok := n.attributeAddr(unmapAP(srcs[i])); ok {
+				m.From = id
+				off = o
 			}
 			n.dispatch(m, sentUnix, off)
 		}

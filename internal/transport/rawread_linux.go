@@ -105,7 +105,7 @@ func (n *UDPNetwork) drainLoop(conn *net.UDPConn) {
 	// one per datagram. A message that fails to decode simply stays stashed.
 	stash := make([]*neko.Message, maxDrainBatch)
 	stashN := 0
-	bk := newShardBuckets()
+	bk := newShardBuckets(len(n.ingest.shards))
 	var fatal error
 	// One closure for the life of the loop: allocating it (and the escaping
 	// fatal slot) per drain cycle would cost two heap objects per cycle.

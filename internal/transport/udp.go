@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"net/netip"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wanfd/internal/arena"
 	"wanfd/internal/clock"
 	"wanfd/internal/freelist"
 	"wanfd/internal/neko"
@@ -15,6 +17,26 @@ import (
 	"wanfd/internal/sim"
 	"wanfd/internal/telemetry"
 )
+
+// checkShards validates a configured pipeline shard count: zero (use the
+// default) or a power of two no larger than 64.
+func checkShards(name string, n int) error {
+	if n == 0 {
+		return nil
+	}
+	if n < 0 || n > 64 || n&(n-1) != 0 {
+		return fmt.Errorf("transport: %s must be a power of two in [1,64], got %d", name, n)
+	}
+	return nil
+}
+
+// shardCount resolves a configured shard count against its default.
+func shardCount(configured, def int) int {
+	if configured > 0 {
+		return configured
+	}
+	return def
+}
 
 // UDPConfig parameterizes a UDP network endpoint.
 type UDPConfig struct {
@@ -50,6 +72,17 @@ type UDPConfig struct {
 	// partial batches immediately: batching then comes only from natural
 	// send bursts and never delays a heartbeat.
 	EgressFlushInterval time.Duration
+	// IngestShards and EgressShards size the batched pipelines' fan-in
+	// lanes. Zero selects the defaults (16 ingest, 8 egress); non-zero
+	// values must be powers of two and at most 64 (the ingest batch
+	// grouping uses a 64-bit touched mask). Scale profiles widen both at
+	// high peer counts.
+	IngestShards int
+	EgressShards int
+	// ExpectedPeers, when non-zero, pre-sizes the peer tables and the
+	// ingest message pool for that many registered peers, so reaching the
+	// expected population never rehashes under load.
+	ExpectedPeers int
 }
 
 // peerState is one registered peer: its transport identity plus the
@@ -98,16 +131,25 @@ type UDPNetwork struct {
 	// RemovePeer) so a cluster monitor can change membership without
 	// dropping the socket. The batched drain loop takes the read lock once
 	// per batch, not once per packet.
-	peerMu sync.RWMutex
-	peers  map[neko.ProcessID]*peerState
-	// byAddr4/byAddr6 index peers by source address for receive
-	// attribution. IPv4 endpoints (the common case) pack address and port
-	// into one uint64 key so the per-packet lookup rides the runtime's
-	// fast 64-bit map path instead of hashing a 32-byte netip.AddrPort —
-	// measurably cheaper at 100k-peer scale. IPv6 endpoints keep the
-	// structural key.
-	byAddr4 map[uint64]*peerState
-	byAddr6 map[netip.AddrPort]*peerState
+	//
+	// Peer records live in an index-addressed arena (one dense slab set
+	// instead of one heap object per peer — see internal/arena); the three
+	// indexes below map lookup keys to arena indices through open-addressed
+	// tables, so registering a millionth peer costs no per-peer map entry
+	// and the GC never walks a per-peer pointer graph. A *peerState from
+	// peerArena is only valid while peerMu is held (RemovePeer frees and
+	// zeroes the record under the write lock), so every accessor copies
+	// what it needs out before unlocking.
+	peerMu    sync.RWMutex
+	peerArena *arena.Arena[peerState]
+	// byID keys on the process id. byAddr4/byAddr6 index peers by source
+	// address for receive attribution: IPv4 endpoints (the common case)
+	// pack address and port into one uint64 key; IPv6 endpoints pack the
+	// 16 address bytes into a two-uint64 key, with the port (which does
+	// not fit) confirmed against the arena record.
+	byID    *arena.Map64
+	byAddr4 *arena.Map64
+	byAddr6 *arena.Map128
 
 	receiver atomic.Pointer[receiverBox]
 	attached atomic.Bool
@@ -145,21 +187,15 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 	if cfg.Listen == "" {
 		return nil, fmt.Errorf("transport: missing listen address")
 	}
-	peers := make(map[neko.ProcessID]*peerState, len(cfg.Peers))
-	byAddr4 := make(map[uint64]*peerState, len(cfg.Peers))
-	byAddr6 := make(map[netip.AddrPort]*peerState)
-	for id, addr := range cfg.Peers {
-		a, err := net.ResolveUDPAddr("udp", addr)
-		if err != nil {
-			return nil, fmt.Errorf("transport: resolve peer %d %q: %w", id, addr, err)
-		}
-		ps := &peerState{id: id, ap: unmapAP(a.AddrPort())}
-		peers[id] = ps
-		if k, ok := addrKey4(ps.ap); ok {
-			byAddr4[k] = ps
-		} else {
-			byAddr6[ps.ap] = ps
-		}
+	if err := checkShards("IngestShards", cfg.IngestShards); err != nil {
+		return nil, err
+	}
+	if err := checkShards("EgressShards", cfg.EgressShards); err != nil {
+		return nil, err
+	}
+	hint := cfg.ExpectedPeers
+	if hint < len(cfg.Peers) {
+		hint = len(cfg.Peers)
 	}
 	batched := !cfg.Unbatched
 	conn, err := listenUDP(cfg.Listen, batched)
@@ -170,9 +206,10 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 	n := &UDPNetwork{
 		cfg:       cfg,
 		conn:      conn,
-		peers:     peers,
-		byAddr4:   byAddr4,
-		byAddr6:   byAddr6,
+		peerArena: arena.New[peerState](),
+		byID:      arena.NewMap64(hint),
+		byAddr4:   arena.NewMap64(hint),
+		byAddr6:   arena.NewMap128(0),
 		epoch:     clk.Epoch(),
 		epochNano: clk.Epoch().UnixNano(),
 		clk:       clk,
@@ -180,12 +217,23 @@ func NewUDPNetwork(cfg UDPConfig) (*UDPNetwork, error) {
 		pending:   make(map[int64]chan clock.Sample),
 		closed:    make(chan struct{}),
 	}
+	for id, addr := range cfg.Peers {
+		a, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve peer %d %q: %w", id, addr, err)
+		}
+		if err := n.addPeerLocked(id, unmapAP(a.AddrPort())); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	// The egress pipeline can pin a full complement of encoded packets in
 	// its shard rings plus one in-flight batch; size the buffer freelist to
 	// cover that so a loaded sender still recycles instead of allocating.
 	bufCap := sendBufPoolCap
 	if !cfg.UnbatchedEgress {
-		bufCap = egressShards*egressRingCap + 2*maxEgressBatch + sendBufPoolCap
+		bufCap = shardCount(cfg.EgressShards, egressShards)*egressRingCap + 2*maxEgressBatch + sendBufPoolCap
 	}
 	n.bufs = freelist.NewPool(bufCap, func() []byte {
 		return make([]byte, 0, maxPacketSize)
@@ -246,37 +294,50 @@ func (n *UDPNetwork) AddPeer(id neko.ProcessID, addr string) error {
 	ap := unmapAP(a.AddrPort())
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
-	if _, dup := n.peers[id]; dup {
+	return n.addPeerLocked(id, ap)
+}
+
+// addPeerLocked allocates the peer record and installs it in the id and
+// address indexes. Callers hold peerMu in write mode (or, during
+// construction, exclusive ownership).
+func (n *UDPNetwork) addPeerLocked(id neko.ProcessID, ap netip.AddrPort) error {
+	if _, dup := n.byID.Get(uint64(id)); dup {
 		return fmt.Errorf("transport: peer %d already registered", id)
 	}
-	if other, dup := n.lookupAddrLocked(ap); dup {
+	if other := n.lookupAddrLocked(ap); other != nil {
 		return fmt.Errorf("transport: address %s already registered as peer %d", ap, other.id)
 	}
-	ps := &peerState{id: id, ap: ap}
-	n.peers[id] = ps
+	idx, ps := n.peerArena.Alloc()
+	ps.id, ps.ap = id, ap
+	n.byID.Put(uint64(id), idx)
 	if k, ok := addrKey4(ap); ok {
-		n.byAddr4[k] = ps
+		n.byAddr4.Put(k, idx)
 	} else {
-		n.byAddr6[ap] = ps
+		k1, k2 := addrKey6(ap)
+		n.byAddr6.Put(k1, k2, idx)
 	}
 	return nil
 }
 
 // RemovePeer deletes a peer registration (and any stored clock offset).
-// Packets from its address are no longer attributed to the id.
+// Packets from its address are no longer attributed to the id. The arena
+// record is freed and its generation bumped, so any index captured before
+// the removal resolves to nil rather than a reused slot.
 func (n *UDPNetwork) RemovePeer(id neko.ProcessID) error {
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
-	ps, ok := n.peers[id]
+	idx, ok := n.byID.Delete(uint64(id))
 	if !ok {
 		return fmt.Errorf("transport: unknown peer %d", id)
 	}
-	delete(n.peers, id)
+	ps := n.peerArena.Get(idx)
 	if k, ok := addrKey4(ps.ap); ok {
-		delete(n.byAddr4, k)
+		n.byAddr4.Delete(k)
 	} else {
-		delete(n.byAddr6, ps.ap)
+		k1, k2 := addrKey6(ps.ap)
+		n.byAddr6.Remove(k1, k2, func(i arena.Index) bool { return i == idx })
 	}
+	n.peerArena.Free(idx)
 	return nil
 }
 
@@ -284,27 +345,64 @@ func (n *UDPNetwork) RemovePeer(id neko.ProcessID) error {
 func (n *UDPNetwork) Peers() int {
 	n.peerMu.RLock()
 	defer n.peerMu.RUnlock()
-	return len(n.peers)
+	return n.peerArena.Len()
 }
 
-// peerByID looks up a peer's state.
-func (n *UDPNetwork) peerByID(id neko.ProcessID) (*peerState, bool) {
+// PeerTableStats reports the layout health of the peer structures: arena
+// occupancy plus the open-addressed table stats for each index. Churn
+// regression tests assert compaction returns these to baseline.
+func (n *UDPNetwork) PeerTableStats() (arenaStats arena.Stats, byID, byAddr4, byAddr6 arena.TableStats) {
 	n.peerMu.RLock()
 	defer n.peerMu.RUnlock()
-	ps, ok := n.peers[id]
-	return ps, ok
+	return n.peerArena.Stats(), n.byID.Stats(), n.byAddr4.Stats(), n.byAddr6.Stats()
 }
 
-// peerByAddr looks up the peer registered at a source address. The address
-// must already be Unmap()ed.
-func (n *UDPNetwork) peerByAddr(ap netip.AddrPort) (*peerState, bool) {
+// peerAddr returns a peer's socket address by value.
+func (n *UDPNetwork) peerAddr(id neko.ProcessID) (netip.AddrPort, bool) {
 	n.peerMu.RLock()
 	defer n.peerMu.RUnlock()
-	return n.lookupAddrLocked(ap)
+	if idx, ok := n.byID.Get(uint64(id)); ok {
+		return n.peerArena.Get(idx).ap, true
+	}
+	return netip.AddrPort{}, false
+}
+
+// peerOffset returns the estimated clock offset stored for a peer.
+func (n *UDPNetwork) peerOffset(id neko.ProcessID) (int64, bool) {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	if idx, ok := n.byID.Get(uint64(id)); ok {
+		return n.peerArena.Get(idx).offset.Load(), true
+	}
+	return 0, false
+}
+
+// setPeerOffset stores a peer's estimated clock offset. The atomic store
+// runs under the read lock: concurrent stores interleave safely, and the
+// lock excludes RemovePeer's non-atomic record zeroing.
+func (n *UDPNetwork) setPeerOffset(id neko.ProcessID, off int64) bool {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	if idx, ok := n.byID.Get(uint64(id)); ok {
+		n.peerArena.Get(idx).offset.Store(off)
+		return true
+	}
+	return false
+}
+
+// attributeAddr resolves a source address (already Unmap()ed) to the
+// registered peer's id and clock offset.
+func (n *UDPNetwork) attributeAddr(ap netip.AddrPort) (id neko.ProcessID, off int64, ok bool) {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	if ps := n.lookupAddrLocked(ap); ps != nil {
+		return ps.id, ps.offset.Load(), true
+	}
+	return 0, 0, false
 }
 
 // addrKey4 packs an unmapped IPv4 address and port into one map key word;
-// ok is false for IPv6 endpoints, which stay under the structural key.
+// ok is false for IPv6 endpoints, which use the two-word addrKey6.
 func addrKey4(ap netip.AddrPort) (uint64, bool) {
 	a := ap.Addr()
 	if !a.Is4() {
@@ -315,15 +413,34 @@ func addrKey4(ap netip.AddrPort) (uint64, bool) {
 		uint64(ap.Port()), true
 }
 
+// addrKey6 packs a 16-byte IPv6 address into the two table key words. The
+// port does not fit the 128-bit key; lookups confirm it against the arena
+// record, and same-address different-port peers coexist on one probe
+// chain.
+func addrKey6(ap netip.AddrPort) (k1, k2 uint64) {
+	b := ap.Addr().As16()
+	return binary.BigEndian.Uint64(b[0:8]), binary.BigEndian.Uint64(b[8:16])
+}
+
 // lookupAddrLocked resolves a source address (already Unmap()ed) to its
-// peer. Callers hold peerMu in at least read mode.
-func (n *UDPNetwork) lookupAddrLocked(ap netip.AddrPort) (*peerState, bool) {
+// peer record, or nil. Callers hold peerMu in at least read mode; the
+// returned pointer is valid only until the lock is released.
+func (n *UDPNetwork) lookupAddrLocked(ap netip.AddrPort) *peerState {
 	if k, ok := addrKey4(ap); ok {
-		ps, found := n.byAddr4[k]
-		return ps, found
+		if idx, found := n.byAddr4.Get(k); found {
+			return n.peerArena.Get(idx)
+		}
+		return nil
 	}
-	ps, found := n.byAddr6[ap]
-	return ps, found
+	k1, k2 := addrKey6(ap)
+	port := ap.Port()
+	idx, found := n.byAddr6.Find(k1, k2, func(i arena.Index) bool {
+		return n.peerArena.Get(i).ap.Port() == port
+	})
+	if found {
+		return n.peerArena.Get(idx)
+	}
+	return nil
 }
 
 // Attach implements neko.Network for the configured local process.
@@ -355,7 +472,7 @@ func (n *UDPNetwork) send(m *neko.Message) {
 		n.enqueue(m)
 		return
 	}
-	ps, ok := n.peerByID(m.To)
+	ap, ok := n.peerAddr(m.To)
 	if !ok {
 		n.mDropped.Inc()
 		return
@@ -372,7 +489,7 @@ func (n *UDPNetwork) send(m *neko.Message) {
 		n.bufs.Put(buf[:0])
 		return
 	}
-	nw, err := n.conn.WriteToUDPAddrPort(out, ps.ap)
+	nw, err := n.conn.WriteToUDPAddrPort(out, ap)
 	if err != nil || nw < len(out) {
 		n.sendErrors.Add(1)
 		n.mSendErr.Inc()
@@ -412,9 +529,9 @@ func (n *UDPNetwork) readLoop() {
 		// field, so several remote heartbeaters can coexist without
 		// coordinating process ids.
 		var offset int64
-		if ps, ok := n.peerByAddr(unmapAP(src)); ok {
-			m.From = ps.id
-			offset = ps.offset.Load()
+		if id, off, ok := n.attributeAddr(unmapAP(src)); ok {
+			m.From = id
+			offset = off
 		}
 		n.dispatch(m, sentUnix, offset)
 	}
@@ -461,7 +578,7 @@ func (n *UDPNetwork) handleTimeReq(m *neko.Message) {
 		Type: MsgTimeResp,
 		Seq:  m.Seq,
 	}
-	ps, ok := n.peerByID(m.From)
+	ap, ok := n.peerAddr(m.From)
 	if !ok {
 		return
 	}
@@ -470,7 +587,7 @@ func (n *UDPNetwork) handleTimeReq(m *neko.Message) {
 	if err != nil {
 		return
 	}
-	if _, err := n.conn.WriteToUDPAddrPort(buf, ps.ap); err != nil {
+	if _, err := n.conn.WriteToUDPAddrPort(buf, ap); err != nil {
 		n.sendErrors.Add(1)
 		n.mSendErr.Inc()
 	}
@@ -504,7 +621,7 @@ func (n *UDPNetwork) handleTimeResp(m *neko.Message, _ time.Duration) {
 // it for inbound timestamp correction, and returns it. Rounds that time out
 // are skipped; at least one successful round is required.
 func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Duration) (time.Duration, error) {
-	ps, ok := n.peerByID(peer)
+	ap, ok := n.peerAddr(peer)
 	if !ok {
 		return 0, fmt.Errorf("transport: unknown peer %d", peer)
 	}
@@ -536,7 +653,7 @@ func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Dura
 		if err != nil {
 			return 0, err
 		}
-		if _, err := n.conn.WriteToUDPAddrPort(buf, ps.ap); err != nil {
+		if _, err := n.conn.WriteToUDPAddrPort(buf, ap); err != nil {
 			return 0, fmt.Errorf("transport: sync send: %w", err)
 		}
 		timedOut := make(chan struct{})
@@ -561,18 +678,17 @@ func (n *UDPNetwork) SyncWith(peer neko.ProcessID, rounds int, timeout time.Dura
 	if err != nil {
 		return 0, err
 	}
-	ps.offset.Store(int64(off))
+	if !n.setPeerOffset(peer, int64(off)) {
+		return 0, fmt.Errorf("transport: peer %d removed during sync", peer)
+	}
 	return off, nil
 }
 
 // Offset returns the clock offset currently applied to the peer's inbound
 // timestamps (0 before SyncWith).
 func (n *UDPNetwork) Offset(peer neko.ProcessID) time.Duration {
-	ps, ok := n.peerByID(peer)
-	if !ok {
-		return 0
-	}
-	return time.Duration(ps.offset.Load())
+	off, _ := n.peerOffset(peer)
+	return time.Duration(off)
 }
 
 // Stats reports packets sent, valid packets received, and malformed packets

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wanfd/internal/arena"
 	"wanfd/internal/core"
 	"wanfd/internal/layers"
 	"wanfd/internal/neko"
@@ -70,24 +71,25 @@ type ClusterSnapshot struct {
 	Trusted, Suspected int
 	// Totals sums every peer's detector counters.
 	Totals DetectorStats
-	// PeerStatuses is the per-peer breakdown, sorted by name.
-	PeerStatuses []PeerStatus
+	// PeerStatuses is the per-peer breakdown, sorted by name. Snapshot
+	// leaves it empty (the aggregate fields above cost no per-peer
+	// allocation, so /stats stays cheap at 1M peers); SnapshotDetail
+	// fills it in.
+	PeerStatuses []PeerStatus `json:",omitempty"`
 }
 
-// peerShards is the number of independent shards of the peer table.
-// Queries, membership churn and (through the equally sharded
-// layers.Router) the UDP receive path contend per shard, not globally.
-const peerShards = 16
-
-// peerShardIndex hashes a peer name onto its shard with an inline FNV-1a
-// (allocation-free on the query path, unlike hash/fnv over a copied name).
-func peerShardIndex(name string) uint64 {
+// peerNameHash hashes a peer name with an inline 64-bit FNV-1a
+// (allocation-free on the query path, unlike hash/fnv over a copied
+// name). The low bits pick the shard; the full hash keys the shard's
+// open-addressed table, where names that collide on the hash coexist and
+// are disambiguated by string comparison.
+func peerNameHash(name string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(name); i++ {
 		h ^= uint64(name[i])
 		h *= 1099511628211
 	}
-	return h % peerShards
+	return h
 }
 
 // peerEntry is one live member: its transport identity and its detector
@@ -100,9 +102,21 @@ type peerEntry struct {
 	mon  *layers.Monitor
 }
 
+// peerShard is one lane of the peer table: entries live in an
+// index-addressed arena and the name-keyed open-addressed table maps
+// hashes to arena indices (see internal/arena). A *peerEntry from ents is
+// only valid while mu is held — RemovePeer frees and zeroes the record
+// under the write lock — so read paths copy the entry out before
+// unlocking.
 type peerShard struct {
-	mu    sync.RWMutex
-	peers map[string]*peerEntry
+	mu   sync.RWMutex
+	tab  *arena.Map64
+	ents *arena.Arena[peerEntry]
+}
+
+// find resolves a name to its arena index. Callers hold mu.
+func (s *peerShard) find(h uint64, name string) (arena.Index, bool) {
+	return s.tab.Find(h, func(i arena.Index) bool { return s.ents.Get(i).name == name })
 }
 
 // MultiMonitor is a running multi-peer UDP failure detector with dynamic
@@ -115,12 +129,16 @@ type MultiMonitor struct {
 	ctx    *neko.Context
 	opts   options
 	nextID atomic.Int64 // next peer ProcessID; monotonic, never reused
-	shards [peerShards]peerShard
+	// profile is the scale-derived geometry (shard counts, wheel widths)
+	// everything below is sized from; see profileFor.
+	profile   scaleProfile
+	shards    []peerShard
+	shardMask uint64
 	// wheels are the per-shard timing wheels all peer deadlines run on:
 	// shard i's detectors schedule on wheels[i], so the whole cluster
-	// expires timers on at most peerShards lazy driver goroutines. Entries
-	// are nil when the monitor was built with WithTimerWheel(false).
-	wheels [peerShards]*sched.Wheel
+	// expires timers on at most len(shards) lazy driver goroutines. The
+	// slice is empty when the monitor was built with WithTimerWheel(false).
+	wheels []*sched.Wheel
 
 	// Cluster-level telemetry; every field is nil (a no-op) when the
 	// monitor was built without WithTelemetry.
@@ -175,6 +193,7 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 	if _, err := core.NewMarginByName(o.margin); err != nil {
 		return nil, err
 	}
+	prof := profileFor(o.expectedPeers)
 	net, err := transport.NewUDPNetwork(transport.UDPConfig{
 		LocalID:             multiMonitorID,
 		Listen:              listen,
@@ -184,14 +203,20 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		UnbatchedEgress:     o.egressOff,
 		EgressBatch:         o.egressBatch,
 		EgressFlushInterval: o.egressFlushInterval,
+		IngestShards:        prof.ingestShards,
+		EgressShards:        prof.egressShards,
+		ExpectedPeers:       o.expectedPeers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	mm := &MultiMonitor{
-		net:    net,
-		router: layers.NewRouter(),
-		opts:   o,
+		net:       net,
+		router:    layers.NewRouterSharded(prof.routerShards),
+		opts:      o,
+		profile:   prof,
+		shards:    make([]peerShard, prof.peerShards),
+		shardMask: uint64(prof.peerShards - 1),
 	}
 	mm.router.Instrument(o.telemetry)
 	o.qstore.Instrument(o.telemetry)
@@ -201,8 +226,11 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 		mm.mPeerRemoves = reg.Counter(telemetry.MetricPeerRemoves, "Peers removed from the cluster monitor.")
 	}
 	mm.nextID.Store(int64(multiMonitorID) + 1)
+	// Pre-size each shard's table for its cut of the expected population.
+	perShard := o.expectedPeers / prof.peerShards
 	for i := range mm.shards {
-		mm.shards[i].peers = make(map[string]*peerEntry)
+		mm.shards[i].tab = arena.NewMap64(perShard)
+		mm.shards[i].ents = arena.New[peerEntry]()
 	}
 	mm.ctx = &neko.Context{ID: multiMonitorID, Clock: net.Clock()}
 	if !o.timerWheelOff {
@@ -214,8 +242,14 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 			// may share one series.
 			onBatch = func(_ int, l time.Duration) { lag.Observe(l.Seconds()) }
 		}
+		mm.wheels = make([]*sched.Wheel, prof.peerShards)
 		for i := range mm.wheels {
-			mm.wheels[i] = sched.NewWheel(sched.Config{Clock: net.Clock(), OnBatch: onBatch})
+			mm.wheels[i] = sched.NewWheel(sched.Config{
+				Clock:       net.Clock(),
+				OnBatch:     onBatch,
+				FineSlots:   prof.fineSlots,
+				CoarseSlots: prof.coarseSlots,
+			})
 		}
 		if reg := o.telemetry; reg != nil {
 			reg.GaugeFunc(telemetry.MetricSchedTimers,
@@ -325,10 +359,11 @@ func (m *MultiMonitor) AddPeer(name, addr string) error {
 	if err := mon.Init(m.ctx); err != nil {
 		return err
 	}
-	s := &m.shards[peerShardIndex(name)]
+	h := peerNameHash(name)
+	s := &m.shards[h&m.shardMask]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.peers[name]; dup {
+	if _, dup := s.find(h, name); dup {
 		mon.Stop()
 		return fmt.Errorf("wanfd: peer %q already monitored", name)
 	}
@@ -344,7 +379,9 @@ func (m *MultiMonitor) AddPeer(name, addr string) error {
 		mon.Stop()
 		return err
 	}
-	s.peers[name] = &peerEntry{name: name, addr: addr, id: id, det: det, mon: mon}
+	idx, e := s.ents.Alloc()
+	*e = peerEntry{name: name, addr: addr, id: id, det: det, mon: mon}
+	s.tab.Put(h, idx)
 	// State the detector tracks anyway is sampled at scrape time, not
 	// pushed per heartbeat; RemovePeer's DropSeries retires the callbacks.
 	m.opts.telemetry.DetectorFuncs(name,
@@ -365,11 +402,16 @@ func (m *MultiMonitor) AddPeer(name, addr string) error {
 // peers' detectors and timers are untouched; packets still in flight from
 // the removed peer are ignored.
 func (m *MultiMonitor) RemovePeer(name string) error {
-	s := &m.shards[peerShardIndex(name)]
+	h := peerNameHash(name)
+	s := &m.shards[h&m.shardMask]
 	s.mu.Lock()
-	e, ok := s.peers[name]
+	var e peerEntry
+	idx, ok := s.tab.Remove(h, func(i arena.Index) bool { return s.ents.Get(i).name == name })
 	if ok {
-		delete(s.peers, name)
+		// Copy the entry out before freeing: Free zeroes the record, and
+		// the teardown below runs outside the shard lock.
+		e = *s.ents.Get(idx)
+		s.ents.Free(idx)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -399,8 +441,8 @@ func (m *MultiMonitor) RemovePeer(name string) error {
 // land on the same shard as the peer's table entry, so membership churn
 // and timer load distribute identically.
 func (m *MultiMonitor) clockFor(name string) sim.Clock {
-	if w := m.wheels[peerShardIndex(name)]; w != nil {
-		return w
+	if len(m.wheels) > 0 {
+		return m.wheels[peerNameHash(name)&m.shardMask]
 	}
 	return m.ctx.Clock
 }
@@ -425,9 +467,6 @@ type SchedulerStats struct {
 func (m *MultiMonitor) SchedulerStats() SchedulerStats {
 	var out SchedulerStats
 	for _, w := range m.wheels {
-		if w == nil {
-			continue
-		}
 		s := w.Stats()
 		out.Wheels++
 		out.Timers += s.Scheduled
@@ -441,13 +480,19 @@ func (m *MultiMonitor) SchedulerStats() SchedulerStats {
 	return out
 }
 
-// lookup finds a live peer entry.
-func (m *MultiMonitor) lookup(name string) (*peerEntry, bool) {
-	s := &m.shards[peerShardIndex(name)]
+// lookup finds a live peer entry, returned by value: the arena record is
+// only stable under the shard lock (a concurrent RemovePeer frees and
+// zeroes it), but the copied pointers — detector, monitor — stay valid
+// heap objects, exactly as they did when the table held *peerEntry.
+func (m *MultiMonitor) lookup(name string) (peerEntry, bool) {
+	h := peerNameHash(name)
+	s := &m.shards[h&m.shardMask]
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	e, ok := s.peers[name]
-	return e, ok
+	if idx, ok := s.find(h, name); ok {
+		return *s.ents.Get(idx), true
+	}
+	return peerEntry{}, false
 }
 
 // Suspected reports whether the named peer is currently suspected; unknown
@@ -480,15 +525,16 @@ func (e *peerEntry) status() PeerStatus {
 	}
 }
 
-// entries snapshots the live peer entries shard by shard.
-func (m *MultiMonitor) entries() []*peerEntry {
-	out := make([]*peerEntry, 0, m.Peers())
+// entries snapshots the live peer entries, by value, shard by shard.
+func (m *MultiMonitor) entries() []peerEntry {
+	out := make([]peerEntry, 0, m.Peers())
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
-		for _, e := range s.peers {
-			out = append(out, e)
-		}
+		s.ents.Range(func(_ arena.Index, e *peerEntry) bool {
+			out = append(out, *e)
+			return true
+		})
 		s.mu.RUnlock()
 	}
 	return out
@@ -503,9 +549,10 @@ func (m *MultiMonitor) Status() []PeerStatus {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
-		for _, e := range s.peers {
+		s.ents.Range(func(_ arena.Index, e *peerEntry) bool {
 			out = append(out, e.status())
-		}
+			return true
+		})
 		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
@@ -518,15 +565,43 @@ func (m *MultiMonitor) Peers() int {
 	for i := range m.shards {
 		s := &m.shards[i]
 		s.mu.RLock()
-		n += len(s.peers)
+		n += s.ents.Len()
 		s.mu.RUnlock()
 	}
 	return n
 }
 
 // Snapshot aggregates the whole cluster: counts by output, summed
-// counters, uptime, and the per-peer breakdown.
+// counters, and uptime. It reads every detector but materializes no
+// per-peer state — constant allocation regardless of membership size, so
+// a stats endpoint polling it stays cheap at 1M peers. SnapshotDetail
+// adds the per-peer breakdown.
 func (m *MultiMonitor) Snapshot() ClusterSnapshot {
+	snap := ClusterSnapshot{Uptime: m.ctx.Clock.Now()}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		s.ents.Range(func(_ arena.Index, e *peerEntry) bool {
+			snap.Peers++
+			if e.det.Suspected() {
+				snap.Suspected++
+			} else {
+				snap.Trusted++
+			}
+			st := e.det.DetectorStats()
+			snap.Totals.Heartbeats += st.Heartbeats
+			snap.Totals.Stale += st.Stale
+			snap.Totals.Suspicions += st.Suspicions
+			return true
+		})
+		s.mu.RUnlock()
+	}
+	return snap
+}
+
+// SnapshotDetail is Snapshot plus the per-peer breakdown, sorted by name.
+// It allocates O(peers); prefer Snapshot for periodic polling at scale.
+func (m *MultiMonitor) SnapshotDetail() ClusterSnapshot {
 	st := m.Status()
 	snap := ClusterSnapshot{
 		Uptime:       m.ctx.Clock.Now(),

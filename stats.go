@@ -1,6 +1,9 @@
 package wanfd
 
-import "wanfd/internal/transport"
+import (
+	"wanfd/internal/arena"
+	"wanfd/internal/transport"
+)
 
 // IngestStats is a snapshot of the batched receive pipeline's health
 // counters (drain cycles, ring drops, pool misses); all zero on a classic
@@ -55,14 +58,22 @@ func (m *Monitor) IngestStats() IngestStats { return m.net.IngestStats() }
 func (m *Monitor) EgressStats() EgressStats { return m.net.EgressStats() }
 
 // Stats returns the unified snapshot for this cluster monitor; Detector
-// sums the per-peer counters (the per-peer breakdown is Status).
+// sums the per-peer counters (the per-peer breakdown is Status). The sum
+// walks the peer arenas in place — no per-peer materialization, so the
+// call allocates the same at 1M peers as at 10.
 func (m *MultiMonitor) Stats() Stats {
 	var det DetectorStats
-	for _, e := range m.entries() {
-		s := e.det.DetectorStats()
-		det.Heartbeats += s.Heartbeats
-		det.Stale += s.Stale
-		det.Suspicions += s.Suspicions
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		s.ents.Range(func(_ arena.Index, e *peerEntry) bool {
+			st := e.det.DetectorStats()
+			det.Heartbeats += st.Heartbeats
+			det.Stale += st.Stale
+			det.Suspicions += st.Suspicions
+			return true
+		})
+		s.mu.RUnlock()
 	}
 	return Stats{
 		Detector:  det,
