@@ -31,6 +31,7 @@ benchguard:
 	$(GO) test -run '^$$' -bench BenchmarkIngest -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_ingest.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEgress|BenchmarkPipeline' -benchtime 100000x . | $(GO) run ./cmd/benchguard -baseline BENCH_egress.json
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster1k/steady/sharded|BenchmarkCluster10k' -benchtime 20000x . | $(GO) run ./cmd/benchguard -baseline BENCH_sched.json
+	$(GO) test -run '^$$' -bench BenchmarkSched1M -benchtime 200000x ./internal/sched | $(GO) run ./cmd/benchguard -baseline BENCH_sched.json
 
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"

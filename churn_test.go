@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"wanfd/internal/neko"
 )
 
 // TestScaleProfileTiers pins the geometry each expected-peer tier
@@ -43,6 +45,69 @@ func TestMonitorScaleProfileWiring(t *testing.T) {
 	}
 	if st := mon.SchedulerStats(); st.Wheels != 32 {
 		t.Fatalf("scheduler reports %d wheels, want 32", st.Wheels)
+	}
+}
+
+// TestMultiMonitorPinnedChurn churns peers through a monitor built with
+// PinDrivers, so the pinned shard drivers (LockOSThread +
+// sched_setaffinity on linux, thread-lock only elsewhere) run the
+// schedule/cancel races the churn produces. The CI race job runs this to
+// cover the pinning path under the race detector; the per-wheel detail
+// snapshot must also stay consistent with the aggregate.
+func TestMultiMonitorPinnedChurn(t *testing.T) {
+	addrs := freeUDPPorts(t, 1)
+	mon, err := NewMultiMonitor(addrs[0],
+		WithEta(100*time.Millisecond),
+		WithPipeline(PipelineConfig{PinDrivers: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	const peers = 128
+	for c := 0; c < 2; c++ {
+		for i := 0; i < peers; i++ {
+			name := fmt.Sprintf("pin-%03d", i)
+			if err := mon.AddPeer(name, fmt.Sprintf("127.0.0.1:%d", 41001+i)); err != nil {
+				t.Fatalf("cycle %d add %s: %v", c, name, err)
+			}
+		}
+		// One heartbeat per peer arms its freshness deadline (AddPeer alone
+		// does not); ProcessIDs are monotonic and never reused, so cycle c's
+		// peers follow all earlier cycles' ids.
+		base := multiMonitorID + 1 + neko.ProcessID(c*peers)
+		for i := 0; i < peers; i++ {
+			mon.router.Receive(&neko.Message{
+				Type:   neko.MsgHeartbeat,
+				From:   base + neko.ProcessID(i),
+				Seq:    1,
+				SentAt: mon.ctx.Clock.Now(),
+			})
+		}
+		if st := mon.SchedulerStats(); st.Timers != peers {
+			t.Fatalf("cycle %d: %d armed deadlines, want one per peer (%d)", c, st.Timers, peers)
+		}
+		// Let the pinned drivers take some wakeups mid-churn.
+		time.Sleep(20 * time.Millisecond)
+		detail := mon.SchedulerStatsDetail()
+		if len(detail) != len(mon.wheels) {
+			t.Fatalf("detail has %d wheels, monitor has %d", len(detail), len(mon.wheels))
+		}
+		var sum int
+		for _, ws := range detail {
+			sum += ws.FineSlotsOccupied + ws.CoarseSlotsOccupied + ws.OverflowTimers
+		}
+		if sum == 0 {
+			t.Fatalf("cycle %d: %d armed deadlines but no occupancy in any wheel detail", c, peers)
+		}
+		for i := 0; i < peers; i++ {
+			if err := mon.RemovePeer(fmt.Sprintf("pin-%03d", i)); err != nil {
+				t.Fatalf("cycle %d remove %d: %v", c, i, err)
+			}
+		}
+		if st := mon.SchedulerStats(); st.Timers != 0 {
+			t.Fatalf("cycle %d: %d deadlines still armed after drain", c, st.Timers)
+		}
 	}
 }
 

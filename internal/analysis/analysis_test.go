@@ -149,7 +149,10 @@ func TestDirectiveSuppression(t *testing.T) {
 // TestClockUseSanctionsSched checks the clock-boundary exemption list:
 // a package whose import path ends in internal/sched (the timing-wheel
 // scheduler) may read the wall clock directly, so the seeded time.Now and
-// time.Since uses in the fixture must produce no diagnostics.
+// time.Since uses in the fixture must produce no diagnostics. The fixture
+// also mirrors the pinned-driver shape (LockOSThread + time.NewTimer
+// parking in affinity.go), pinning that the driver-affinity code the real
+// scheduler grew stays under the sanction rather than needing a new one.
 func TestClockUseSanctionsSched(t *testing.T) {
 	a := ByName("clockuse")
 	if a == nil {

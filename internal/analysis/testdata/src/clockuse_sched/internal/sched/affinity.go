@@ -1,0 +1,24 @@
+package sched
+
+import (
+	"runtime"
+	"time"
+)
+
+// PinnedDrive mirrors the shape of the real wheel's pinned driver loop:
+// the goroutine locks its OS thread, affines it, and then parks on
+// runtime timers between wall-clock reads. All of it must stay under the
+// internal/sched clock-boundary sanction — pinning support does not move
+// the package out from under the lint.
+func PinnedDrive(cpu int, wake <-chan struct{}) time.Duration {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	start := time.Now()
+	tmr := time.NewTimer(time.Millisecond)
+	select {
+	case <-tmr.C:
+	case <-wake:
+		tmr.Stop()
+	}
+	return time.Since(start)
+}

@@ -1,0 +1,92 @@
+package arena
+
+// Intrusive doubly-linked lists over arena records, addressed by packed
+// Index instead of by pointer. A record participates by embedding a Link
+// and exposing it through a pointer-receiver ListLink method; the List
+// itself stores only two Indices and a length, so a million single-record
+// queues (the timing wheel's slot lists) cost 24 bytes each and zero heap
+// objects. Because links hold generation-stamped Indices, a corrupted or
+// stale link resolves to nil in Get and fails fast instead of silently
+// walking into a recycled record — the same ABA discipline the tables use.
+//
+// Like the rest of the package, lists do not synchronize: the caller
+// serializes all mutations and traversals (the timing wheel does so under
+// its wheel mutex). A record may be on at most one list at a time; tracking
+// which list it is on is the caller's job (the wheel keys it by slot).
+
+// Link is the linkage embedded in records that live on a List. The zero
+// value (both ends Nil) is an unlinked link.
+type Link struct {
+	next, prev Index
+}
+
+// Next returns the Index of the following record, or Nil at the tail.
+func (l *Link) Next() Index { return l.next }
+
+// Prev returns the Index of the preceding record, or Nil at the head.
+func (l *Link) Prev() Index { return l.prev }
+
+// Linked constrains a record pointer that exposes its embedded Link.
+type Linked[T any] interface {
+	*T
+	ListLink() *Link
+}
+
+// List is an intrusive FIFO of records living in one Arena. PushBack and
+// Remove are O(1) and allocation-free; the arena passed to every operation
+// must be the one the indices were allocated from.
+type List[T any, PT Linked[T]] struct {
+	head, tail Index
+	n          int
+}
+
+// Len is the number of linked records.
+func (l *List[T, PT]) Len() int { return l.n }
+
+// Empty reports whether no records are linked.
+func (l *List[T, PT]) Empty() bool { return l.n == 0 }
+
+// Head returns the first record's Index, or Nil when empty.
+func (l *List[T, PT]) Head() Index { return l.head }
+
+// Tail returns the last record's Index, or Nil when empty.
+func (l *List[T, PT]) Tail() Index { return l.tail }
+
+// PushBack links record i at the tail. i must be live and unlinked.
+func (l *List[T, PT]) PushBack(a *Arena[T], i Index) {
+	ln := PT(a.Get(i)).ListLink()
+	ln.prev = l.tail
+	ln.next = Nil
+	if l.tail != Nil {
+		PT(a.Get(l.tail)).ListLink().next = i
+	} else {
+		l.head = i
+	}
+	l.tail = i
+	l.n++
+}
+
+// Remove unlinks record i, which must currently be on this list, and
+// resets its link to the unlinked state.
+func (l *List[T, PT]) Remove(a *Arena[T], i Index) {
+	ln := PT(a.Get(i)).ListLink()
+	if ln.prev != Nil {
+		PT(a.Get(ln.prev)).ListLink().next = ln.next
+	} else {
+		l.head = ln.next
+	}
+	if ln.next != Nil {
+		PT(a.Get(ln.next)).ListLink().prev = ln.prev
+	} else {
+		l.tail = ln.prev
+	}
+	ln.next, ln.prev = Nil, Nil
+	l.n--
+}
+
+// Next returns the record following i on this list, or Nil at the tail.
+// It reads i's link only, so it is safe to call while iterating with
+// concurrent Removes of already-visited records.
+func (l *List[T, PT]) Next(a *Arena[T], i Index) Index {
+	return PT(a.Get(i)).ListLink().next
+}

@@ -1,0 +1,158 @@
+package arena
+
+import "testing"
+
+// listNode is the test record: a payload plus the intrusive link.
+type listNode struct {
+	link Link
+	v    int
+}
+
+func (n *listNode) ListLink() *Link { return &n.link }
+
+type nodeList = List[listNode, *listNode]
+
+// collect walks the list front to back and returns the payloads.
+func collect(t *testing.T, a *Arena[listNode], l *nodeList) []int {
+	t.Helper()
+	var out []int
+	for i := l.Head(); i != Nil; i = l.Next(a, i) {
+		out = append(out, a.Get(i).v)
+	}
+	if len(out) != l.Len() {
+		t.Fatalf("walked %d records, list reports Len %d", len(out), l.Len())
+	}
+	return out
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestListFIFO pins the queue discipline: PushBack appends, Head is the
+// oldest record, and removal from the middle, head and tail all relink
+// correctly.
+func TestListFIFO(t *testing.T) {
+	a := New[listNode]()
+	var l nodeList
+	idx := make([]Index, 5)
+	for i := range idx {
+		var n *listNode
+		idx[i], n = a.Alloc()
+		n.v = i
+		l.PushBack(a, idx[i])
+	}
+	if got := collect(t, a, &l); !eq(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("FIFO order = %v", got)
+	}
+
+	l.Remove(a, idx[2]) // middle
+	if got := collect(t, a, &l); !eq(got, []int{0, 1, 3, 4}) {
+		t.Fatalf("after middle remove = %v", got)
+	}
+	l.Remove(a, idx[0]) // head
+	if got := collect(t, a, &l); !eq(got, []int{1, 3, 4}) {
+		t.Fatalf("after head remove = %v", got)
+	}
+	l.Remove(a, idx[4]) // tail
+	if got := collect(t, a, &l); !eq(got, []int{1, 3}) {
+		t.Fatalf("after tail remove = %v", got)
+	}
+	if l.Tail() != idx[3] || l.Head() != idx[1] {
+		t.Fatalf("head/tail = %v/%v, want %v/%v", l.Head(), l.Tail(), idx[1], idx[3])
+	}
+
+	// Re-push a removed record: its link was reset, so it joins cleanly.
+	l.PushBack(a, idx[0])
+	if got := collect(t, a, &l); !eq(got, []int{1, 3, 0}) {
+		t.Fatalf("after re-push = %v", got)
+	}
+}
+
+// TestListDrainToEmpty removes every record head-first and checks the list
+// returns to the zero state that a fresh list starts in.
+func TestListDrainToEmpty(t *testing.T) {
+	a := New[listNode]()
+	var l nodeList
+	for i := 0; i < 3; i++ {
+		idx, n := a.Alloc()
+		n.v = i
+		l.PushBack(a, idx)
+	}
+	for !l.Empty() {
+		h := l.Head()
+		l.Remove(a, h)
+		a.Free(h)
+	}
+	if l.Head() != Nil || l.Tail() != Nil || l.Len() != 0 {
+		t.Fatalf("drained list not zero: head=%v tail=%v len=%d", l.Head(), l.Tail(), l.Len())
+	}
+	// A drained list is immediately reusable.
+	idx, n := a.Alloc()
+	n.v = 9
+	l.PushBack(a, idx)
+	if got := collect(t, a, &l); !eq(got, []int{9}) {
+		t.Fatalf("reuse after drain = %v", got)
+	}
+}
+
+// TestListMoveBetweenLists migrates records between two lists (the wheel's
+// cascade pattern: remove from a coarse slot, push onto a fine slot)
+// without freeing, preserving relative order.
+func TestListMoveBetweenLists(t *testing.T) {
+	a := New[listNode]()
+	var src, dst nodeList
+	for i := 0; i < 4; i++ {
+		idx, n := a.Alloc()
+		n.v = i
+		src.PushBack(a, idx)
+	}
+	for !src.Empty() {
+		h := src.Head()
+		src.Remove(a, h)
+		dst.PushBack(a, h)
+	}
+	if got := collect(t, a, &dst); !eq(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("migrated order = %v", got)
+	}
+	if !src.Empty() {
+		t.Fatalf("source still has %d records", src.Len())
+	}
+}
+
+// TestListAllocFree checks list operations stay allocation-free once the
+// arena's slabs exist — the wheel's steady-state requirement.
+func TestListAllocFree(t *testing.T) {
+	a := New[listNode]()
+	var l nodeList
+	idx := make([]Index, 64)
+	for i := range idx {
+		idx[i], _ = a.Alloc()
+		l.PushBack(a, idx[i])
+	}
+	for _, i := range idx {
+		l.Remove(a, i)
+		a.Free(i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range idx {
+			idx[i], _ = a.Alloc()
+			l.PushBack(a, idx[i])
+		}
+		for _, i := range idx {
+			l.Remove(a, i)
+			a.Free(i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/remove/free allocates %.1f per cycle, want 0", allocs)
+	}
+}

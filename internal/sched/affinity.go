@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// CPU topology discovery for driver pinning. The kernel's cpuset view at
+// /sys/devices/system/cpu/online is the authority on linux ("0-63",
+// "0,2-5,8", ...); elsewhere — and when sysfs is unreadable — the fallback
+// is the flat 0..NumCPU-1 range, which keeps PinCPU assignment meaningful
+// (stable modular striping) even where pinThread itself is a no-op.
+
+const onlineCPUPath = "/sys/devices/system/cpu/online"
+
+// OnlineCPUs returns the online CPU ids in ascending order. The slice is
+// never empty.
+func OnlineCPUs() []int {
+	if b, err := os.ReadFile(onlineCPUPath); err == nil {
+		if cpus, err := parseCPUList(strings.TrimSpace(string(b))); err == nil && len(cpus) > 0 {
+			return cpus
+		}
+	}
+	n := runtime.NumCPU()
+	cpus := make([]int, n)
+	for i := range cpus {
+		cpus[i] = i
+	}
+	return cpus
+}
+
+// parseCPUList parses the kernel's cpulist format: comma-separated ids and
+// inclusive ranges, e.g. "0-63" or "0,2-5,8".
+func parseCPUList(s string) ([]int, error) {
+	var cpus []int
+	if s == "" {
+		return cpus, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ok := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, err
+		}
+		b := a
+		if ok {
+			if b, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil {
+				return nil, err
+			}
+		}
+		for c := a; c <= b; c++ {
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus, nil
+}

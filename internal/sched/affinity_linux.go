@@ -1,0 +1,36 @@
+//go:build linux
+
+package sched
+
+import (
+	"errors"
+	"syscall"
+	"unsafe"
+)
+
+// affinityMask covers 1024 CPUs, matching the kernel's default
+// CONFIG_NR_CPUS ceiling on common distributions.
+type affinityMask [16]uint64
+
+// pinThread binds the calling OS thread to the single CPU cpu. The caller
+// must have locked the goroutine to its thread (runtime.LockOSThread)
+// first, or the pin outlives the goroutine it was meant for.
+func pinThread(cpu int) error {
+	if cpu < 0 || cpu >= len(affinityMask{})*64 {
+		return errors.New("sched: cpu id out of affinity-mask range")
+	}
+	var mask affinityMask
+	mask[cpu/64] = 1 << uint(cpu%64)
+	// pid 0 = the calling thread. Raw syscall: no allocation, and no
+	// dependency outside the standard library.
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0,
+		uintptr(unsafe.Sizeof(mask)),
+		uintptr(unsafe.Pointer(&mask)),
+	)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

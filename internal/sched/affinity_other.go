@@ -1,0 +1,8 @@
+//go:build !linux
+
+package sched
+
+// pinThread is a no-op off linux: Config.PinCPU degrades to plain
+// LockOSThread, which still stops the driver migrating between threads
+// even though the OS keeps choosing the core.
+func pinThread(cpu int) error { return nil }

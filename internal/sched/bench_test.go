@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"wanfd/internal/sim"
+)
+
+// BenchmarkSched1M drives 2^20 self-re-arming deadlines — one per
+// monitored peer, the paper's §2.3 freshness-point shape at the 1M tier —
+// through a single wheel on the 1M profile's 1024/256 geometry over the
+// virtual engine. One op is one timer expiry plus its re-arm.
+//
+// dispatch re-arms at 800 ms, inside the fine window (1024 ticks), so
+// every deadline is placed and fired at the fine level; cascade re-arms
+// at 5 s, past the fine window, so every deadline is placed coarse and
+// must cascade down before firing — the wrap-walk cost the occupancy
+// bitmaps bound. Both must run allocation-free at steady state: nodes
+// recycle through the arena free list and the fire batch buffer is
+// reused across wakeups.
+func BenchmarkSched1M(b *testing.B) {
+	b.Run("dispatch", func(b *testing.B) { benchSched1M(b, 800*time.Millisecond) })
+	b.Run("cascade", func(b *testing.B) { benchSched1M(b, 5*time.Second) })
+}
+
+func benchSched1M(b *testing.B, period time.Duration) {
+	const armed = 1 << 20
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: time.Millisecond, FineSlots: 1024, CoarseSlots: 256})
+	fired := 0
+	spread := int(period / time.Millisecond)
+	for i := 0; i < armed; i++ {
+		var tm Rearmable
+		tm = w.NewTimer(func() {
+			fired++
+			tm.Reschedule(period)
+		})
+		// Stagger initial deadlines across one period so expiry load is
+		// uniform, like independent peers on the η grid.
+		tm.Reschedule(time.Duration(i%spread+1) * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for fired < b.N {
+		if !eng.Step() {
+			b.Fatal("engine drained with timers still armed")
+		}
+	}
+	b.StopTimer()
+	st := w.Stats()
+	if st.Scheduled != armed {
+		b.Fatalf("armed deadlines drifted: %d, want %d", st.Scheduled, armed)
+	}
+	b.ReportMetric(float64(st.Scheduled), "timers_armed")
+	if b.N > 1 {
+		b.ReportMetric(float64(st.SlotsSkipped)/float64(b.N), "slots_skipped/op")
+	}
+}

@@ -3,10 +3,12 @@ package sched
 import (
 	"math"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wanfd/internal/arena"
 	"wanfd/internal/sim"
 )
 
@@ -49,11 +51,17 @@ type Config struct {
 	OnBatch func(fired int, lag time.Duration)
 	// FineSlots and CoarseSlots size the two wheel levels. Both must be
 	// powers of two; zero means the defaults (256 fine, 64 coarse). Wider
-	// wheels trade memory (one timerList per slot) for lower per-slot
+	// wheels trade memory (one slot list per slot) for lower per-slot
 	// occupancy and shorter next-wake scans when millions of deadlines are
 	// armed.
 	FineSlots   int
 	CoarseSlots int
+	// PinCPU, when positive, pins the wheel's real-clock driver goroutine
+	// to CPU PinCPU-1 (runtime.LockOSThread + sched_setaffinity on linux;
+	// a no-op elsewhere), so a fleet of shard drivers stops migrating
+	// across the socket. Zero — the zero-value default — leaves the driver
+	// unpinned. Ignored in virtual mode, which has no driver goroutine.
+	PinCPU int
 }
 
 // Stats is a point-in-time snapshot of a wheel's counters.
@@ -69,7 +77,51 @@ type Stats struct {
 	Cascades uint64
 	// MaxSlotOccupancy is the high-water mark of timers sharing one slot.
 	MaxSlotOccupancy int
+	// FineSlotsOccupied and CoarseSlotsOccupied count the slots whose
+	// lists are currently non-empty — the occupancy the skip bitmaps
+	// track. OverflowTimers is the overflow list's current length.
+	FineSlotsOccupied   int
+	CoarseSlotsOccupied int
+	OverflowTimers      int
+	// SlotsSkipped counts ticks the advance loop crossed without touching
+	// a slot list, thanks to the occupancy bitmaps; at sparse occupancy it
+	// dwarfs Fired.
+	SlotsSkipped uint64
+	// Wakeups counts driver advances (real-mode loop iterations or
+	// virtual-mode wake events). Coalescing parks the driver on the next
+	// occupied tick, so Wakeups stays proportional to occupied ticks, not
+	// elapsed ticks.
+	Wakeups uint64
 }
+
+// timerNode is the in-wheel state of one armed timer: the intrusive list
+// linkage, the list it is on, the quantized firing tick, the exact
+// deadline, and the handle to fire. Nodes live in the wheel's arena only
+// while the timer is queued — Stop and expiry free the slot, Reschedule
+// reuses it — so at rest an idle timer costs only its handle.
+type timerNode struct {
+	link arena.Link
+	lid  int32 // which wheel list the node is on; see listFor
+	tk   int64
+	at   time.Duration
+	t    *Timer
+}
+
+// ListLink satisfies arena.Linked.
+func (n *timerNode) ListLink() *arena.Link { return &n.link }
+
+// timerList is an intrusive arena-indexed list of timer nodes.
+type timerList = arena.List[timerNode, *timerNode]
+
+// List ids: the due and overflow lists first, then the fine slots, then
+// the coarse slots. Stored per node so unlink finds its list (and the
+// occupancy bit to clear) without re-deriving placement from a tick that
+// may since have advanced past it.
+const (
+	lidDue      = int32(0)
+	lidOverflow = int32(1)
+	lidFine0    = int32(2)
+)
 
 // firing is one drained timer plus the generation and deadline captured
 // under the wheel lock, so the fire loop can detect a concurrent
@@ -88,25 +140,43 @@ type Wheel struct {
 	tick    time.Duration
 	onBatch func(int, time.Duration)
 	real    bool
+	pinCPU  int
 
 	// Geometry, fixed at construction: slot counts and derived masks for
 	// both levels, the fine level's shift, and the total in-wheel span in
 	// ticks.
 	fslots, fmask int64
 	fbits         uint
-	cmask         int64
+	cslots, cmask int64
 	span          int64
 
-	mu        sync.Mutex
-	cur       int64 // last processed tick
-	fine      []timerList
-	coarse    []timerList
-	overflow  timerList
-	due       timerList // non-positive delays: fire at next wakeup
+	mu       sync.Mutex
+	cur      int64 // last processed tick
+	nodes    *arena.Arena[timerNode]
+	fine     []timerList
+	coarse   []timerList
+	overflow timerList
+	due      timerList // non-positive delays: fire at next wakeup
+
+	// Occupancy bitmaps: one bit per slot, set while the slot's list is
+	// non-empty, so tick advance and next-wake scans skip empty slots a
+	// word (64 slots) at a time instead of probing each list.
+	fineOcc   []uint64
+	coarseOcc []uint64
+	fineCnt   int // occupied fine slots
+	coarseCnt int // occupied coarse slots
+	// overMin is a conservative lower bound on the earliest overflow
+	// tick: exact after every cascade scan (which walks the whole list),
+	// only lowered in between (Stop of the minimum leaves it stale-low,
+	// which can cost a harmless early wakeup, never a late one).
+	overMin int64
+
 	scheduled int
 	fired     uint64
 	batches   uint64
 	cascades  uint64
+	skipped   uint64
+	wakeups   uint64
 	maxSlot   int
 	closed    bool
 
@@ -116,9 +186,12 @@ type Wheel struct {
 	sleepTick int64
 	notify    chan struct{}
 
-	// Virtual mode: a single pending wakeup event on the host clock.
+	// Virtual mode: a single pending wakeup event on the host clock, and
+	// a reusable batch buffer (the engine delivers wakeups one at a time,
+	// so the buffer is never aliased across advances).
 	wake     sim.Timer
 	wakeTick int64
+	vbatch   []firing
 }
 
 var (
@@ -145,17 +218,23 @@ func NewWheel(cfg Config) *Wheel {
 		panic("sched: wheel slot counts must be powers of two")
 	}
 	w := &Wheel{
-		clk:     cfg.Clock,
-		tick:    tick,
-		onBatch: cfg.OnBatch,
-		fslots:  int64(fs),
-		fmask:   int64(fs - 1),
-		fbits:   uint(bits.TrailingZeros(uint(fs))),
-		cmask:   int64(cs - 1),
-		span:    int64(fs) * int64(cs),
-		fine:    make([]timerList, fs),
-		coarse:  make([]timerList, cs),
-		notify:  make(chan struct{}, 1),
+		clk:       cfg.Clock,
+		tick:      tick,
+		onBatch:   cfg.OnBatch,
+		pinCPU:    cfg.PinCPU,
+		fslots:    int64(fs),
+		fmask:     int64(fs - 1),
+		fbits:     uint(bits.TrailingZeros(uint(fs))),
+		cslots:    int64(cs),
+		cmask:     int64(cs - 1),
+		span:      int64(fs) * int64(cs),
+		nodes:     arena.New[timerNode](),
+		fine:      make([]timerList, fs),
+		coarse:    make([]timerList, cs),
+		fineOcc:   make([]uint64, (fs+63)/64),
+		coarseOcc: make([]uint64, (cs+63)/64),
+		overMin:   math.MaxInt64,
+		notify:    make(chan struct{}, 1),
 	}
 	_, w.real = cfg.Clock.(*sim.RealClock)
 	w.cur = w.tickFloor(w.clk.Now())
@@ -186,11 +265,16 @@ func (w *Wheel) AfterFunc(d time.Duration, fn func()) sim.Timer {
 func (w *Wheel) Stats() Stats {
 	w.mu.Lock()
 	s := Stats{
-		Scheduled:        w.scheduled,
-		Fired:            w.fired,
-		Batches:          w.batches,
-		Cascades:         w.cascades,
-		MaxSlotOccupancy: w.maxSlot,
+		Scheduled:           w.scheduled,
+		Fired:               w.fired,
+		Batches:             w.batches,
+		Cascades:            w.cascades,
+		MaxSlotOccupancy:    w.maxSlot,
+		FineSlotsOccupied:   w.fineCnt,
+		CoarseSlotsOccupied: w.coarseCnt,
+		OverflowTimers:      w.overflow.Len(),
+		SlotsSkipped:        w.skipped,
+		Wakeups:             w.wakeups,
 	}
 	w.mu.Unlock()
 	return s
@@ -206,27 +290,21 @@ func (w *Wheel) Close() {
 		return
 	}
 	w.closed = true
-	for l := []*timerList{&w.due, &w.overflow}; len(l) > 0; l = l[1:] {
-		for l[0].head != nil {
-			t := l[0].head
-			t.gen.Add(1)
-			l[0].remove(t)
-		}
-	}
+	w.clearListLocked(&w.due)
+	w.clearListLocked(&w.overflow)
 	for i := range w.fine {
-		for w.fine[i].head != nil {
-			t := w.fine[i].head
-			t.gen.Add(1)
-			w.fine[i].remove(t)
-		}
+		w.clearListLocked(&w.fine[i])
 	}
 	for i := range w.coarse {
-		for w.coarse[i].head != nil {
-			t := w.coarse[i].head
-			t.gen.Add(1)
-			w.coarse[i].remove(t)
-		}
+		w.clearListLocked(&w.coarse[i])
 	}
+	for i := range w.fineOcc {
+		w.fineOcc[i] = 0
+	}
+	for i := range w.coarseOcc {
+		w.coarseOcc[i] = 0
+	}
+	w.fineCnt, w.coarseCnt = 0, 0
 	w.scheduled = 0
 	if w.wake != nil {
 		w.wake.Stop()
@@ -239,6 +317,18 @@ func (w *Wheel) Close() {
 		case w.notify <- struct{}{}:
 		default:
 		}
+	}
+}
+
+// clearListLocked cancels and frees every node on l.
+func (w *Wheel) clearListLocked(l *timerList) {
+	for !l.Empty() {
+		idx := l.Head()
+		n := w.nodes.Get(idx)
+		n.t.gen.Add(1)
+		n.t.node = arena.Nil
+		l.Remove(w.nodes, idx)
+		w.nodes.Free(idx)
 	}
 }
 
@@ -260,109 +350,293 @@ func (w *Wheel) tickCeil(at time.Duration) int64 {
 	return int64((at + w.tick - 1) / w.tick)
 }
 
-// placeLocked links an unqueued timer into the level its deadline tick
-// falls in: due (already expired), fine (within 256 ticks), coarse
-// (within the wheel span), or overflow.
-func (w *Wheel) placeLocked(t *Timer) {
-	var l *timerList
-	switch delta := t.tk - w.cur; {
-	case delta <= 0:
-		l = &w.due
-	case delta <= w.fslots:
-		l = &w.fine[t.tk&w.fmask]
-	case delta <= w.span:
-		l = &w.coarse[(t.tk>>w.fbits)&w.cmask]
+// listFor maps a list id back to its list.
+func (w *Wheel) listFor(lid int32) *timerList {
+	switch {
+	case lid == lidDue:
+		return &w.due
+	case lid == lidOverflow:
+		return &w.overflow
+	case int64(lid) < int64(lidFine0)+w.fslots:
+		return &w.fine[int64(lid)-int64(lidFine0)]
 	default:
-		l = &w.overflow
-	}
-	l.push(t)
-	if l != &w.overflow && l != &w.due && l.n > w.maxSlot {
-		w.maxSlot = l.n
+		return &w.coarse[int64(lid)-int64(lidFine0)-w.fslots]
 	}
 }
 
-// cascadeLocked runs at each fine-wheel wrap: the coarse slot whose span
-// just entered the fine window is flushed down, and overflow timers now
-// within the wheel span are admitted.
-func (w *Wheel) cascadeLocked() {
-	slot := &w.coarse[(w.cur>>w.fbits)&w.cmask]
-	for slot.head != nil {
-		t := slot.head
-		slot.remove(t)
-		w.placeLocked(t)
-		w.cascades++
+// enqueueLocked links node idx onto the list lid and maintains the
+// occupancy bitmaps and counters.
+func (w *Wheel) enqueueLocked(lid int32, idx arena.Index, n *timerNode) {
+	n.lid = lid
+	l := w.listFor(lid)
+	wasEmpty := l.Empty()
+	l.PushBack(w.nodes, idx)
+	switch {
+	case lid == lidDue:
+	case lid == lidOverflow:
+		if n.tk < w.overMin {
+			w.overMin = n.tk
+		}
+	case int64(lid) < int64(lidFine0)+w.fslots:
+		if wasEmpty {
+			s := int64(lid) - int64(lidFine0)
+			w.fineOcc[s>>6] |= 1 << uint(s&63)
+			w.fineCnt++
+		}
+		if l.Len() > w.maxSlot {
+			w.maxSlot = l.Len()
+		}
+	default:
+		if wasEmpty {
+			s := int64(lid) - int64(lidFine0) - w.fslots
+			w.coarseOcc[s>>6] |= 1 << uint(s&63)
+			w.coarseCnt++
+		}
+		if l.Len() > w.maxSlot {
+			w.maxSlot = l.Len()
+		}
 	}
-	for t := w.overflow.head; t != nil; {
-		next := t.next
-		if t.tk-w.cur <= w.span {
-			w.overflow.remove(t)
-			w.placeLocked(t)
+}
+
+// dequeueLocked unlinks node idx from its current list and maintains the
+// occupancy bitmaps and counters. The node stays allocated.
+func (w *Wheel) dequeueLocked(idx arena.Index, n *timerNode) {
+	lid := n.lid
+	l := w.listFor(lid)
+	l.Remove(w.nodes, idx)
+	if !l.Empty() || lid == lidDue || lid == lidOverflow {
+		return
+	}
+	if s := int64(lid) - int64(lidFine0); s < w.fslots {
+		w.fineOcc[s>>6] &^= 1 << uint(s&63)
+		w.fineCnt--
+	} else {
+		s -= w.fslots
+		w.coarseOcc[s>>6] &^= 1 << uint(s&63)
+		w.coarseCnt--
+	}
+}
+
+// placeLocked links a node into the level its deadline tick falls in: due
+// (already expired), fine (within the fine window), coarse (within the
+// wheel span), or overflow.
+func (w *Wheel) placeLocked(idx arena.Index, n *timerNode) {
+	var lid int32
+	switch delta := n.tk - w.cur; {
+	case delta <= 0:
+		lid = lidDue
+	case delta <= w.fslots:
+		lid = lidFine0 + int32(n.tk&w.fmask)
+	case delta <= w.span:
+		lid = lidFine0 + int32(w.fslots) + int32((n.tk>>w.fbits)&w.cmask)
+	default:
+		lid = lidOverflow
+	}
+	w.enqueueLocked(lid, idx, n)
+}
+
+// cascadeLocked runs when a fine-wheel wrap is crossed: the coarse slot
+// whose span just entered the fine window is flushed down, and overflow
+// timers now within the wheel span are admitted. The overflow walk is
+// skipped entirely while the earliest overflow deadline is provably
+// beyond the span (overMin is a conservative lower bound), and each walk
+// re-tightens the bound for free.
+func (w *Wheel) cascadeLocked() {
+	ci := (w.cur >> w.fbits) & w.cmask
+	if w.coarseOcc[ci>>6]&(1<<uint(ci&63)) != 0 {
+		slot := &w.coarse[ci]
+		for !slot.Empty() {
+			idx := slot.Head()
+			n := w.nodes.Get(idx)
+			w.dequeueLocked(idx, n)
+			w.placeLocked(idx, n)
 			w.cascades++
 		}
-		t = next
 	}
+	if w.overflow.Empty() || w.overMin-w.cur > w.span {
+		return
+	}
+	newMin := int64(math.MaxInt64)
+	for idx := w.overflow.Head(); idx != arena.Nil; {
+		n := w.nodes.Get(idx)
+		next := n.link.Next()
+		if n.tk-w.cur <= w.span {
+			w.dequeueLocked(idx, n)
+			w.placeLocked(idx, n)
+			w.cascades++
+		} else if n.tk < newMin {
+			newMin = n.tk
+		}
+		idx = next
+	}
+	w.overMin = newMin
 }
 
 // drainLocked moves every timer on l into the batch, capturing generation
-// and deadline under the lock.
+// and deadline under the lock, and frees the nodes.
 func (w *Wheel) drainLocked(l *timerList, batch []firing) []firing {
-	for l.head != nil {
-		t := l.head
-		l.remove(t)
+	for !l.Empty() {
+		idx := l.Head()
+		n := w.nodes.Get(idx)
+		t, at := n.t, n.at
+		w.dequeueLocked(idx, n)
+		w.nodes.Free(idx)
+		t.node = arena.Nil
 		w.scheduled--
 		w.fired++
-		batch = append(batch, firing{t: t, gen: t.gen.Load(), at: t.at})
+		batch = append(batch, firing{t: t, gen: t.gen.Load(), at: at})
 	}
 	return batch
 }
 
-// advanceLocked processes every tick up to target, cascading at wraps,
-// and collects expired timers in slot order (insertion order within a
-// slot, so same-deadline timers fire in schedule order, matching the
-// engine's FIFO tie-break).
+// nextFineTickLocked scans the fine occupancy bitmap for the first
+// occupied tick in (w.cur, hi], where hi lies in the same fine-wheel
+// segment as the ticks being scanned (so slot indices do not wrap).
+func (w *Wheel) nextFineTickLocked(hi int64) (int64, bool) {
+	lo := w.cur + 1
+	from, to := lo&w.fmask, hi&w.fmask
+	wi, wTo := from>>6, to>>6
+	word := w.fineOcc[wi] >> uint(from&63) << uint(from&63)
+	for {
+		if wi == wTo {
+			// Mask off bits above `to`.
+			if keep := uint(to&63) + 1; keep < 64 {
+				word &= 1<<keep - 1
+			}
+		}
+		if word != 0 {
+			s := wi<<6 + int64(bits.TrailingZeros64(word))
+			return (lo &^ w.fmask) | s, true
+		}
+		if wi == wTo {
+			return 0, false
+		}
+		wi++
+		word = w.fineOcc[wi]
+	}
+}
+
+// advanceLocked processes every tick up to target, cascading at fine-wheel
+// wraps, and collects expired timers in slot order (insertion order within
+// a slot, so same-deadline timers fire in schedule order, matching the
+// engine's FIFO tie-break). Empty stretches are crossed through the
+// occupancy bitmaps without touching a slot list.
 func (w *Wheel) advanceLocked(target int64, batch []firing) []firing {
 	batch = w.drainLocked(&w.due, batch)
 	for w.cur < target {
-		w.cur++
-		if w.cur&w.fmask == 0 {
-			w.cascadeLocked()
-			batch = w.drainLocked(&w.due, batch)
+		if w.fineCnt == 0 && w.coarseCnt == 0 && w.overflow.Empty() {
+			// Nothing in the wheel at all: the remaining ticks (and their
+			// wrap cascades) are provably no-ops.
+			w.skipped += uint64(target - w.cur)
+			w.cur = target
+			break
 		}
+		// Ticks remaining inside the current fine segment, before the
+		// next wrap cascade is due.
+		segEnd := (w.cur &^ w.fmask) + w.fslots
+		hi := target
+		if segEnd-1 < hi {
+			hi = segEnd - 1
+		}
+		for w.cur < hi {
+			if w.fineCnt == 0 {
+				w.skipped += uint64(hi - w.cur)
+				w.cur = hi
+				break
+			}
+			tk, ok := w.nextFineTickLocked(hi)
+			if !ok {
+				w.skipped += uint64(hi - w.cur)
+				w.cur = hi
+				break
+			}
+			w.skipped += uint64(tk - w.cur - 1)
+			w.cur = tk
+			batch = w.drainLocked(&w.fine[tk&w.fmask], batch)
+		}
+		if segEnd > target {
+			break
+		}
+		// Cross the wrap boundary: cascade, then drain anything the
+		// cascade surfaced as due and the boundary tick's own slot.
+		w.cur = segEnd
+		w.cascadeLocked()
+		batch = w.drainLocked(&w.due, batch)
 		batch = w.drainLocked(&w.fine[w.cur&w.fmask], batch)
 	}
 	return batch
 }
 
+// nextCoarseFlushLocked reports the tick at which the earliest occupied
+// coarse slot will be flushed into the fine window, or false when the
+// coarse level is empty. A slot c is flushed when the wheel enters the
+// fine segment whose index ≡ c, i.e. 1..cslots segments ahead of cur.
+func (w *Wheel) nextCoarseFlushLocked() (int64, bool) {
+	if w.coarseCnt == 0 {
+		return 0, false
+	}
+	ci := (w.cur >> w.fbits) & w.cmask
+	// Scan the coarse bitmap circularly starting just after ci; the first
+	// occupied slot found is the fewest segments ahead.
+	for d := int64(1); d <= w.cslots; {
+		c := (ci + d) & w.cmask
+		word := w.coarseOcc[c>>6] >> uint(c&63)
+		if word != 0 {
+			d += int64(bits.TrailingZeros64(word))
+			if d > w.cslots {
+				break
+			}
+			return (w.cur &^ w.fmask) + d<<w.fbits, true
+		}
+		d += 64 - c&63
+	}
+	// Unreachable if coarseCnt is consistent; fail safe with the nearest
+	// boundary rather than sleeping forever.
+	return (w.cur &^ w.fmask) + w.fslots, true
+}
+
 // nextWakeLocked reports the next tick the wheel must be driven at, or
 // false when nothing is queued. Fine-window deadlines are exact (each
-// fine slot holds a single deadline tick at a time); anything deeper only
-// needs a wakeup at the next wrap boundary, where cascading re-sorts it.
+// fine slot holds a single deadline tick at a time); the coarse level
+// needs a wakeup only at the wrap that flushes its earliest occupied
+// slot, and the overflow list only at the wrap that first admits its
+// earliest deadline into the span — idle wraps in between are slept
+// through entirely.
 func (w *Wheel) nextWakeLocked() (int64, bool) {
 	if w.scheduled == 0 {
 		return 0, false
 	}
-	if w.due.n > 0 {
+	if !w.due.Empty() {
 		return w.cur, true
 	}
 	best := int64(-1)
-	for k := int64(1); k <= w.fslots; k++ {
-		if w.fine[(w.cur+k)&w.fmask].n > 0 {
-			best = w.cur + k
-			break
-		}
-	}
-	deeper := w.overflow.n > 0
-	if !deeper {
-		for i := range w.coarse {
-			if w.coarse[i].n > 0 {
-				deeper = true
-				break
+	if w.fineCnt > 0 {
+		// The fine window covers (cur, cur+fslots]: the tail of the
+		// current segment, then the whole next segment up to and
+		// including its last tick.
+		if tk, ok := w.nextFineTickLocked((w.cur &^ w.fmask) + w.fslots - 1); ok {
+			best = tk
+		} else {
+			lo := (w.cur &^ w.fmask) + w.fslots
+			save := w.cur
+			w.cur = lo - 1 // scan [lo, lo+cur&fmask] in the next segment
+			if tk, ok := w.nextFineTickLocked(lo + save&w.fmask); ok {
+				best = tk
 			}
+			w.cur = save
 		}
 	}
-	if deeper {
-		if wrap := w.wrapBoundaryLocked(); best == -1 || wrap < best {
-			best = wrap
+	if flush, ok := w.nextCoarseFlushLocked(); ok && (best == -1 || flush < best) {
+		best = flush
+	}
+	if !w.overflow.Empty() {
+		// First wrap boundary at which overMin comes within the span.
+		adm := (w.overMin - w.span + w.fmask) &^ w.fmask
+		if next := (w.cur &^ w.fmask) + w.fslots; adm < next {
+			adm = next
+		}
+		if best == -1 || adm < best {
+			best = adm
 		}
 	}
 	if best == -1 {
@@ -371,12 +645,6 @@ func (w *Wheel) nextWakeLocked() (int64, bool) {
 		best = w.cur + 1
 	}
 	return best, true
-}
-
-// wrapBoundaryLocked is the next tick at which the fine wheel wraps and
-// cascading runs.
-func (w *Wheel) wrapBoundaryLocked() int64 {
-	return (w.cur &^ w.fmask) + w.fslots
 }
 
 // fireBatch invokes the collected callbacks with no locks held. A timer
@@ -410,8 +678,16 @@ func (w *Wheel) fireBatch(batch []firing, collectedAt time.Duration) {
 // drive is the real-clock driver loop: advance, fire, sleep until the
 // next deadline or a kick. It exits when the wheel empties (or closes)
 // and is respawned by the next schedule, so an idle wheel costs zero
-// goroutines.
+// goroutines. With Config.PinCPU set the loop runs locked to one OS
+// thread, pinned to its CPU for its whole lifetime.
 func (w *Wheel) drive() {
+	if w.pinCPU > 0 {
+		runtime.LockOSThread()
+		// Pin failures (shrunk cpuset, exotic kernel) are not fatal: the
+		// driver just runs unpinned, exactly as on non-linux builds.
+		_ = pinThread(w.pinCPU - 1)
+		defer runtime.UnlockOSThread()
+	}
 	var batch []firing
 	for {
 		w.mu.Lock()
@@ -421,6 +697,7 @@ func (w *Wheel) drive() {
 			return
 		}
 		now := w.clk.Now()
+		w.wakeups++
 		batch = w.advanceLocked(w.tickFloor(now), batch[:0])
 		if len(batch) > 0 {
 			w.batches++
@@ -467,7 +744,9 @@ func (w *Wheel) onWake() {
 	}
 	w.wake = nil
 	now := w.clk.Now()
-	batch := w.advanceLocked(w.tickFloor(now), nil)
+	w.wakeups++
+	batch := w.advanceLocked(w.tickFloor(now), w.vbatch[:0])
+	w.vbatch = batch // keep the grown buffer for the next wake
 	if len(batch) > 0 {
 		w.batches++
 	}
@@ -478,13 +757,12 @@ func (w *Wheel) onWake() {
 	w.fireBatch(batch, now)
 }
 
-// armWakeLocked ensures a host-clock wakeup at tk (bounded to the next
-// wrap so cascading keeps per-wakeup work O(slots)), replacing a later
-// pending wakeup.
+// armWakeLocked ensures a host-clock wakeup at tk, replacing a later
+// pending wakeup. tk may lie many wraps ahead: the advance loop crosses
+// the intervening (provably empty) segments through the bitmaps, so the
+// old one-wrap bound on a wakeup's work is no longer needed and idle
+// wraps cost no events at all.
 func (w *Wheel) armWakeLocked(tk int64) {
-	if wrap := w.wrapBoundaryLocked(); tk > wrap {
-		tk = wrap
-	}
 	if w.wake != nil {
 		if w.wakeTick <= tk {
 			return
@@ -499,9 +777,12 @@ func (w *Wheel) armWakeLocked(tk int64) {
 	w.wake = w.clk.AfterFunc(d, w.onWake)
 }
 
-// Timer is an intrusive wheel timer. The zero deadline state (unqueued)
-// is reached through Stop or expiry; Reschedule re-arms from any state in
-// O(1) without allocating.
+// Timer is a rearmable wheel timer handle. Its in-wheel state lives in
+// the wheel's node arena only while the timer is queued; the handle
+// itself is one small long-lived allocation per consumer. The unqueued
+// state is reached through Stop or expiry; Reschedule re-arms from any
+// state in O(1) without allocating (node slots recycle through the
+// arena's free list).
 type Timer struct {
 	w  *Wheel
 	fn func()
@@ -510,11 +791,10 @@ type Timer struct {
 	// entry whose captured generation no longer matches is dropped.
 	gen atomic.Uint64
 
-	// Intrusive list linkage and deadline, all guarded by w.mu.
-	next, prev *Timer
-	list       *timerList
-	tk         int64
-	at         time.Duration
+	// node is the timer's arena slot while queued, Nil otherwise; guarded
+	// by w.mu. The generation-stamped Index makes a stale handle resolve
+	// nil instead of aliasing a recycled node.
+	node arena.Index
 }
 
 // Reschedule re-arms the timer to fire d from now, replacing any pending
@@ -555,8 +835,10 @@ func (t *Timer) RescheduleAt(at, now time.Duration) {
 func (t *Timer) rescheduleLocked(at, now time.Duration) {
 	w := t.w
 	t.gen.Add(1)
-	if t.list != nil {
-		t.list.remove(t)
+	idx := t.node
+	n := w.nodes.Get(idx)
+	if n != nil {
+		w.dequeueLocked(idx, n)
 		w.scheduled--
 	}
 	if w.scheduled == 0 {
@@ -569,24 +851,29 @@ func (t *Timer) rescheduleLocked(at, now time.Duration) {
 	if at < now {
 		at = now
 	}
-	t.at = at
-	if at == now {
-		t.tk = w.cur
-	} else {
-		t.tk = w.tickCeil(at)
+	if n == nil {
+		idx, n = w.nodes.Alloc()
+		t.node = idx
+		n.t = t
 	}
-	w.placeLocked(t)
+	n.at = at
+	if at == now {
+		n.tk = w.cur
+	} else {
+		n.tk = w.tickCeil(at)
+	}
+	w.placeLocked(idx, n)
 	w.scheduled++
 	kick := false
 	if w.real {
 		if !w.driving {
 			w.driving = true
 			go w.drive()
-		} else if t.tk <= w.cur || t.tk < w.sleepTick {
+		} else if n.tk <= w.cur || n.tk < w.sleepTick {
 			kick = true
 		}
 	} else {
-		w.armWakeLocked(t.tk)
+		w.armWakeLocked(n.tk)
 	}
 	w.mu.Unlock()
 	if kick {
@@ -605,11 +892,15 @@ func (t *Timer) Stop() bool {
 	w := t.w
 	w.mu.Lock()
 	t.gen.Add(1)
-	if t.list == nil {
+	idx := t.node
+	n := w.nodes.Get(idx)
+	if n == nil {
 		w.mu.Unlock()
 		return false
 	}
-	t.list.remove(t)
+	w.dequeueLocked(idx, n)
+	w.nodes.Free(idx)
+	t.node = arena.Nil
 	w.scheduled--
 	empty := w.scheduled == 0
 	kick := false
@@ -631,39 +922,4 @@ func (t *Timer) Stop() bool {
 		}
 	}
 	return true
-}
-
-// timerList is an intrusive doubly-linked list of Timers; n is its
-// length, used for slot-occupancy stats and next-wake scans.
-type timerList struct {
-	head, tail *Timer
-	n          int
-}
-
-func (l *timerList) push(t *Timer) {
-	t.list = l
-	t.prev = l.tail
-	t.next = nil
-	if l.tail != nil {
-		l.tail.next = t
-	} else {
-		l.head = t
-	}
-	l.tail = t
-	l.n++
-}
-
-func (l *timerList) remove(t *Timer) {
-	if t.prev != nil {
-		t.prev.next = t.next
-	} else {
-		l.head = t.next
-	}
-	if t.next != nil {
-		t.next.prev = t.prev
-	} else {
-		l.tail = t.prev
-	}
-	t.next, t.prev, t.list = nil, nil, nil
-	l.n--
 }

@@ -1,0 +1,352 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"wanfd/internal/sim"
+)
+
+// checkWheelConsistency validates the invariants the skip-scan relies on:
+// every occupancy bit mirrors its slot list's emptiness, the occupied-slot
+// counters match the bitmaps, and the queued-timer count matches both the
+// list lengths and the node arena's live-record count.
+func checkWheelConsistency(t *testing.T, w *Wheel) {
+	t.Helper()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fineCnt := 0
+	for i := range w.fine {
+		occ := w.fineOcc[i>>6]&(1<<uint(i&63)) != 0
+		if occ != !w.fine[i].Empty() {
+			t.Fatalf("fine slot %d: occupancy bit %v but list len %d", i, occ, w.fine[i].Len())
+		}
+		if occ {
+			fineCnt++
+		}
+	}
+	if fineCnt != w.fineCnt {
+		t.Fatalf("fineCnt = %d, bitmap has %d occupied slots", w.fineCnt, fineCnt)
+	}
+	coarseCnt, total := 0, w.due.Len()+w.overflow.Len()
+	for i := range w.coarse {
+		occ := w.coarseOcc[i>>6]&(1<<uint(i&63)) != 0
+		if occ != !w.coarse[i].Empty() {
+			t.Fatalf("coarse slot %d: occupancy bit %v but list len %d", i, occ, w.coarse[i].Len())
+		}
+		if occ {
+			coarseCnt++
+		}
+		total += w.coarse[i].Len()
+	}
+	if coarseCnt != w.coarseCnt {
+		t.Fatalf("coarseCnt = %d, bitmap has %d occupied slots", w.coarseCnt, coarseCnt)
+	}
+	for i := range w.fine {
+		total += w.fine[i].Len()
+	}
+	if total != w.scheduled {
+		t.Fatalf("scheduled = %d, lists hold %d", w.scheduled, total)
+	}
+	if live := w.nodes.Len(); live != w.scheduled {
+		t.Fatalf("scheduled = %d, arena holds %d live nodes", w.scheduled, live)
+	}
+}
+
+// TestEngineEquivalenceWideGeometry replays the canonical trace — plus
+// ops targeting the 1M profile's wider level edges — on the 1024/256
+// geometry, against the engine's exact heap. The widened wheel must stay
+// bit-identical through the bitmap skip-scan.
+func TestEngineEquivalenceWideGeometry(t *testing.T) {
+	tick := time.Millisecond
+	const wfs, wcs = 1024, 256
+	ops := append(equivalenceTrace(tick),
+		traceOp{label: "wide-fine-edge", delay: wfs * tick},
+		traceOp{label: "wide-coarse-a", delay: (wfs + 17) * tick, chain: 3 * tick},
+		traceOp{label: "wide-coarse-edge", delay: wfs * wcs * tick},
+		traceOp{label: "wide-overflow", delay: (wfs*wcs + 999) * tick},
+		traceOp{label: "wide-moved", delay: 2 * wfs * tick, rescheduleAt: wfs * tick, rescheduleTo: wfs * wcs * tick},
+	)
+
+	heapEng := sim.NewEngine()
+	heapLog := runTrace(t, heapEng, heapEng, ops)
+
+	wheelEng := sim.NewEngine()
+	w := NewWheel(Config{Clock: wheelEng, Tick: tick, FineSlots: wfs, CoarseSlots: wcs})
+	wheelLog := runTrace(t, wheelEng, w, ops)
+
+	if len(heapLog) != len(wheelLog) {
+		t.Fatalf("heap fired %d, wheel fired %d\nheap:  %v\nwheel: %v",
+			len(heapLog), len(wheelLog), heapLog, wheelLog)
+	}
+	for i := range heapLog {
+		if heapLog[i] != wheelLog[i] {
+			t.Errorf("entry %d: heap %+v, wheel %+v", i, heapLog[i], wheelLog[i])
+		}
+	}
+	st := w.Stats()
+	if st.Scheduled != 0 {
+		t.Errorf("wheel not empty after trace: %+v", st)
+	}
+	if st.SlotsSkipped == 0 {
+		t.Errorf("trace spans multi-segment gaps but no slots were skipped: %+v", st)
+	}
+	checkWheelConsistency(t, w)
+}
+
+// TestCoarseHorizonWrapCascade pins the cascade at the widened wheel's
+// full-span wrap: a deadline exactly at span lands in the last coarse
+// slot and must cascade down and fire exactly at span, while a deadline
+// one tick past it waits on overflow and fires one tick later.
+func TestCoarseHorizonWrapCascade(t *testing.T) {
+	tick := time.Millisecond
+	const wfs, wcs = 1024, 256
+	span := time.Duration(wfs*wcs) * tick
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: tick, FineSlots: wfs, CoarseSlots: wcs})
+
+	var fired []fireEntry
+	w.AfterFunc(span, func() { fired = append(fired, fireEntry{"at-span", eng.Now()}) })
+	w.AfterFunc(span+tick, func() { fired = append(fired, fireEntry{"past-span", eng.Now()}) })
+	if st := w.Stats(); st.OverflowTimers != 1 {
+		t.Fatalf("want exactly the past-span timer on overflow, stats %+v", st)
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []fireEntry{{"at-span", span}, {"past-span", span + tick}}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, fired[i], want[i])
+		}
+	}
+	if st := w.Stats(); st.Cascades == 0 {
+		t.Errorf("span-crossing deadlines recorded no cascades: %+v", st)
+	}
+	checkWheelConsistency(t, w)
+}
+
+// TestOverflowDrainOrder schedules deadlines beyond the default wheel's
+// ~16.4 s horizon in shuffled insertion order, including a same-instant
+// tie: expiry must come in deadline order, ties in schedule order —
+// exactly as within the wheel.
+func TestOverflowDrainOrder(t *testing.T) {
+	tick := time.Millisecond
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: tick})
+
+	delays := []struct {
+		label string
+		d     time.Duration
+	}{
+		{"over-c", (wheelSpan + 5000) * tick},
+		{"over-a", (wheelSpan + 100) * tick},
+		{"tie-1", (wheelSpan + 2000) * tick},
+		{"tie-2", (wheelSpan + 2000) * tick},
+		{"over-d", (3*wheelSpan + 7) * tick},
+		{"over-b", (wheelSpan + 1500) * tick},
+	}
+	var fired []fireEntry
+	for _, op := range delays {
+		op := op
+		w.AfterFunc(op.d, func() { fired = append(fired, fireEntry{op.label, eng.Now()}) })
+	}
+	if st := w.Stats(); st.OverflowTimers != len(delays) {
+		t.Fatalf("all %d deadlines are past the horizon, stats %+v", len(delays), st)
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"over-a", "over-b", "tie-1", "tie-2", "over-c", "over-d"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v", fired)
+	}
+	for i, label := range want {
+		if fired[i].label != label {
+			t.Errorf("position %d: fired %q, want %q (full: %v)", i, fired[i].label, label, fired)
+		}
+	}
+	for _, f := range fired {
+		for _, op := range delays {
+			if op.label == f.label && f.at != op.d {
+				t.Errorf("%s fired at %v, want %v", f.label, f.at, op.d)
+			}
+		}
+	}
+	checkWheelConsistency(t, w)
+}
+
+// TestSkippedSlotFIFO jumps the wheel across a long empty stretch in one
+// advance and checks the skipped-to slot still fires its timers in
+// schedule order, with the skipped ticks showing up in SlotsSkipped.
+func TestSkippedSlotFIFO(t *testing.T) {
+	tick := time.Millisecond
+	eng := sim.NewEngine()
+	w := NewWheel(Config{Clock: eng, Tick: tick})
+
+	var fired []string
+	for _, label := range []string{"first", "second", "third"} {
+		label := label
+		w.AfterFunc(200*tick, func() { fired = append(fired, label) })
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[0] != "first" || fired[1] != "second" || fired[2] != "third" {
+		t.Fatalf("FIFO violated in skipped-to slot: %v", fired)
+	}
+	st := w.Stats()
+	if st.SlotsSkipped < 190 {
+		t.Errorf("crossing 200 empty ticks skipped only %d slots: %+v", st.SlotsSkipped, st)
+	}
+	if st.Wakeups > 3 {
+		t.Errorf("coalescing should reach one occupied tick in ~1 wakeup, took %d", st.Wakeups)
+	}
+	checkWheelConsistency(t, w)
+}
+
+// TestConcurrentCancelWhileCascading hammers Stop/Reschedule from many
+// goroutines against a fast real-clock wheel whose driver is cascading
+// concurrently, then verifies the bitmaps, counters, and arena agree with
+// the slot lists. Run under -race in CI's churn job.
+func TestConcurrentCancelWhileCascading(t *testing.T) {
+	clk := sim.NewRealClock()
+	w := NewWheel(Config{Clock: clk, Tick: 100 * time.Microsecond, FineSlots: 64, CoarseSlots: 16})
+	defer w.Close()
+
+	const workers, perWorker = 8, 32
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			timers := make([]Rearmable, perWorker)
+			for i := range timers {
+				timers[i] = w.NewTimer(func() {})
+			}
+			deadline := time.Now().Add(150 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				tm := timers[rng.Intn(perWorker)]
+				switch rng.Intn(3) {
+				case 0:
+					// Fine window: contends with the skip-scan.
+					tm.Reschedule(time.Duration(rng.Intn(60)+1) * 100 * time.Microsecond)
+				case 1:
+					// Coarse/overflow: contends with the cascade walk.
+					tm.Reschedule(time.Duration(rng.Intn(4000)+64) * 100 * time.Microsecond)
+				case 2:
+					tm.(*Timer).Stop()
+				}
+			}
+			for _, tm := range timers {
+				tm.(*Timer).Stop()
+			}
+		}()
+	}
+	wg.Wait()
+	checkWheelConsistency(t, w)
+	if st := w.Stats(); st.Scheduled != 0 {
+		t.Fatalf("all timers stopped but %d still scheduled: %+v", st.Scheduled, st)
+	}
+}
+
+// TestPinnedDriver runs a real-clock wheel with PinCPU set: on linux the
+// driver thread is affined to that CPU, elsewhere (and when the pin
+// fails) it degrades to an unpinned locked thread — either way timers
+// must keep firing.
+func TestPinnedDriver(t *testing.T) {
+	cpus := OnlineCPUs()
+	if len(cpus) == 0 {
+		t.Fatal("OnlineCPUs returned no CPUs")
+	}
+	clk := sim.NewRealClock()
+	w := NewWheel(Config{Clock: clk, Tick: time.Millisecond, PinCPU: cpus[0] + 1})
+	defer w.Close()
+	done := make(chan struct{})
+	w.AfterFunc(2*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pinned driver never fired")
+	}
+	waitWheelEmpty(t, w)
+}
+
+// TestPinnedDriverBadCPU asks for a CPU beyond the affinity mask: the pin
+// fails, the driver falls back to running unpinned, and dispatch still
+// works — the documented degradation for shrunk cpusets and non-linux
+// builds.
+func TestPinnedDriverBadCPU(t *testing.T) {
+	clk := sim.NewRealClock()
+	w := NewWheel(Config{Clock: clk, Tick: time.Millisecond, PinCPU: 1 << 20})
+	defer w.Close()
+	done := make(chan struct{})
+	w.AfterFunc(2*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("driver with failed pin never fired")
+	}
+	waitWheelEmpty(t, w)
+}
+
+// TestParseCPUList covers the kernel cpulist grammar used for topology
+// discovery.
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{in: "0", want: []int{0}},
+		{in: "0-3", want: []int{0, 1, 2, 3}},
+		{in: "0,2-4,7", want: []int{0, 2, 3, 4, 7}},
+		{in: "", want: nil},
+		{in: "x", err: true},
+		{in: "1-", err: true},
+	}
+	for _, tc := range cases {
+		got, err := parseCPUList(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("parseCPUList(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCPUList(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseCPUList(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestOnlineCPUs checks discovery returns a non-empty ascending id list on
+// every platform (sysfs on linux, the NumCPU fallback elsewhere).
+func TestOnlineCPUs(t *testing.T) {
+	cpus := OnlineCPUs()
+	if len(cpus) == 0 {
+		t.Fatal("no online CPUs reported")
+	}
+	for i := 1; i < len(cpus); i++ {
+		if cpus[i] <= cpus[i-1] {
+			t.Fatalf("CPU ids not ascending: %v", cpus)
+		}
+	}
+}

@@ -55,6 +55,14 @@ const (
 	MetricSchedCascades = "wanfd_sched_cascades_total"
 	MetricSchedMaxSlot  = "wanfd_sched_max_slot_occupancy"
 	MetricSchedBatchLag = "wanfd_sched_batch_lag_seconds"
+	// Occupancy-bitmap instrumentation: slots the skip-scan crossed
+	// without probing, driver advances after wakeup coalescing, and the
+	// per-level occupied-slot / overflow gauges the skips derive from.
+	MetricSchedSlotsSkipped   = "wanfd_sched_slots_skipped_total"
+	MetricSchedWakeups        = "wanfd_sched_wakeups_total"
+	MetricSchedFineOccupied   = "wanfd_sched_fine_slots_occupied"
+	MetricSchedCoarseOccupied = "wanfd_sched_coarse_slots_occupied"
+	MetricSchedOverflow       = "wanfd_sched_overflow_timers"
 
 	MetricStoreRecords  = "wanfd_store_records_total"
 	MetricStoreDropped  = "wanfd_store_dropped_total"

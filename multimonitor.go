@@ -242,14 +242,25 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 			// may share one series.
 			onBatch = func(_ int, l time.Duration) { lag.Observe(l.Seconds()) }
 		}
+		var cpus []int
+		if o.pinDrivers {
+			cpus = sched.OnlineCPUs()
+		}
 		mm.wheels = make([]*sched.Wheel, prof.peerShards)
 		for i := range mm.wheels {
-			mm.wheels[i] = sched.NewWheel(sched.Config{
+			cfg := sched.Config{
 				Clock:       net.Clock(),
 				OnBatch:     onBatch,
 				FineSlots:   prof.fineSlots,
 				CoarseSlots: prof.coarseSlots,
-			})
+			}
+			if len(cpus) > 0 {
+				// Stripe shard drivers round-robin over the online CPUs so
+				// the widest profiles (64 wheels) spread across the socket
+				// and each driver stays put between wakeups.
+				cfg.PinCPU = cpus[i%len(cpus)] + 1
+			}
+			mm.wheels[i] = sched.NewWheel(cfg)
 		}
 		if reg := o.telemetry; reg != nil {
 			reg.GaugeFunc(telemetry.MetricSchedTimers,
@@ -264,6 +275,21 @@ func newMultiMonitor(listen string, o options) (*MultiMonitor, error) {
 			reg.GaugeFunc(telemetry.MetricSchedMaxSlot,
 				"High-water mark of deadlines sharing one wheel slot on any shard.",
 				func() float64 { return float64(mm.SchedulerStats().MaxSlotOccupancy) })
+			reg.CounterFunc(telemetry.MetricSchedSlotsSkipped,
+				"Empty wheel slots crossed by bitmap skip-scan instead of probing.",
+				func() float64 { return float64(mm.SchedulerStats().SlotsSkipped) })
+			reg.CounterFunc(telemetry.MetricSchedWakeups,
+				"Shard driver advances (coalesced to occupied ticks).",
+				func() float64 { return float64(mm.SchedulerStats().Wakeups) })
+			reg.GaugeFunc(telemetry.MetricSchedFineOccupied,
+				"Fine-level wheel slots currently holding deadlines, summed over shards.",
+				func() float64 { return float64(mm.SchedulerStats().FineSlotsOccupied) })
+			reg.GaugeFunc(telemetry.MetricSchedCoarseOccupied,
+				"Coarse-level wheel slots currently holding deadlines, summed over shards.",
+				func() float64 { return float64(mm.SchedulerStats().CoarseSlotsOccupied) })
+			reg.GaugeFunc(telemetry.MetricSchedOverflow,
+				"Deadlines parked beyond the wheel horizon, summed over shards.",
+				func() float64 { return float64(mm.SchedulerStats().OverflowTimers) })
 		}
 	}
 	proc, err := neko.NewProcess(multiMonitorID, net.Clock(), net, mm.router)
@@ -460,7 +486,22 @@ type SchedulerStats struct {
 	// MaxSlotOccupancy is the highest number of deadlines that ever shared
 	// one wheel slot on any shard.
 	MaxSlotOccupancy int
+	// FineSlotsOccupied and CoarseSlotsOccupied sum, over the shards, the
+	// wheel slots whose lists are currently non-empty; OverflowTimers sums
+	// the deadlines parked beyond the wheel horizon.
+	FineSlotsOccupied   int
+	CoarseSlotsOccupied int
+	OverflowTimers      int
+	// SlotsSkipped counts empty slots the bitmap skip-scan crossed without
+	// probing; Wakeups counts driver advances after coalescing to occupied
+	// ticks.
+	SlotsSkipped uint64
+	Wakeups      uint64
 }
+
+// WheelStats is one shard wheel's counter snapshot, as returned by
+// SchedulerStatsDetail.
+type WheelStats = sched.Stats
 
 // SchedulerStats aggregates the shard wheels' counters. All fields are
 // zero when the timing wheel is disabled.
@@ -476,6 +517,27 @@ func (m *MultiMonitor) SchedulerStats() SchedulerStats {
 		if s.MaxSlotOccupancy > out.MaxSlotOccupancy {
 			out.MaxSlotOccupancy = s.MaxSlotOccupancy
 		}
+		out.FineSlotsOccupied += s.FineSlotsOccupied
+		out.CoarseSlotsOccupied += s.CoarseSlotsOccupied
+		out.OverflowTimers += s.OverflowTimers
+		out.SlotsSkipped += s.SlotsSkipped
+		out.Wakeups += s.Wakeups
+	}
+	return out
+}
+
+// SchedulerStatsDetail returns each shard wheel's own snapshot, indexed by
+// shard, for occupancy and skip-scan analysis at the per-wheel grain the
+// aggregate hides. Like the table SnapshotDetail convention from the peer
+// state layer, the per-shard breakdown is opt-in: SchedulerStats stays the
+// cheap aggregate view. Nil when the timing wheel is disabled.
+func (m *MultiMonitor) SchedulerStatsDetail() []WheelStats {
+	if len(m.wheels) == 0 {
+		return nil
+	}
+	out := make([]WheelStats, len(m.wheels))
+	for i, w := range m.wheels {
+		out[i] = w.Stats()
 	}
 	return out
 }

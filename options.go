@@ -61,6 +61,9 @@ type options struct {
 	// expectedPeers sizes the cluster monitor's scale profile (see
 	// PipelineConfig.ExpectedPeers); zero selects the default geometry.
 	expectedPeers int
+	// pinDrivers pins the shard wheel driver goroutines to CPUs (see
+	// PipelineConfig.PinDrivers); the zero value leaves them unpinned.
+	pinDrivers bool
 }
 
 // scaleProfile is the geometry a cluster monitor derives from the
@@ -311,6 +314,15 @@ type PipelineConfig struct {
 	// up to ~32k peers); larger values widen the fan-out in steps, with
 	// the top tier sized for 1M+ peers. Single-peer Monitors ignore it.
 	ExpectedPeers int
+	// PinDrivers pins each shard timing wheel's driver goroutine to one
+	// online CPU (striped round-robin over the topology read from
+	// /sys/devices/system/cpu), via runtime.LockOSThread plus
+	// sched_setaffinity. At the widest scale profiles this keeps the
+	// shard drivers from migrating across the socket between wakeups,
+	// trading scheduler freedom for cache locality on the deadline path.
+	// Honoured only on linux; elsewhere drivers are thread-locked but the
+	// OS keeps placing them. Ignored when the timing wheel is disabled.
+	PinDrivers bool
 	// DisableTimerWheel, DisableBatchedIngest and DisableBatchedEgress
 	// switch individual stages back to their classic implementations for
 	// fine-grained A/B comparison; WithTransportMode(TransportClassic)
@@ -336,6 +348,9 @@ func WithPipeline(cfg PipelineConfig) Option {
 		}
 		if cfg.ExpectedPeers > 0 {
 			o.expectedPeers = cfg.ExpectedPeers
+		}
+		if cfg.PinDrivers {
+			o.pinDrivers = true
 		}
 		if cfg.DisableTimerWheel {
 			o.timerWheelOff = true
